@@ -1,0 +1,26 @@
+"""Fig. 4a / 4b — error of the |J_i|/|U| ratio estimation (histogram + EO).
+
+Paper shape: the histogram-based estimator's error is larger and less stable
+at small overlap scales and shrinks/stabilizes as the overlap scale grows; the
+error on UQ3 (shorter joins, fewer of them) is smaller than on UQ1.
+"""
+
+from repro.experiments.figures import run_fig4_ratio_error
+
+
+def test_fig4a_uq1_ratio_error(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig4_ratio_error, args=("UQ1", config), rounds=1, iterations=1
+    )
+    record_table(table)
+    assert len(table.rows) == len(config.overlap_scales)
+    assert all(value >= 0.0 for value in table.column("mean_error"))
+
+
+def test_fig4b_uq3_ratio_error(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig4_ratio_error, args=("UQ3", config), rounds=1, iterations=1
+    )
+    record_table(table)
+    assert len(table.rows) == len(config.overlap_scales)
+    assert all(value >= 0.0 for value in table.column("mean_error"))

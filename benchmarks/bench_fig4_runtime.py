@@ -1,0 +1,27 @@
+"""Fig. 4c / 4d — runtime of union-size estimation: histogram-based vs FullJoin.
+
+Paper shape: the histogram-based warm-up is orders of magnitude cheaper than
+executing the full joins and computing the union, and the gap widens as the
+data/overlap grows.
+"""
+
+from repro.experiments.figures import run_fig4_runtime
+
+
+def test_fig4c_uq1_runtime(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig4_runtime, args=("UQ1", config), rounds=1, iterations=1
+    )
+    record_table(table)
+    # The histogram estimate must beat the full-join baseline at every overlap scale.
+    for row in table.rows:
+        assert row["histogram_seconds"] < row["full_join_seconds"]
+
+
+def test_fig4d_uq3_runtime(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig4_runtime, args=("UQ3", config), rounds=1, iterations=1
+    )
+    record_table(table)
+    for row in table.rows:
+        assert row["histogram_seconds"] < row["full_join_seconds"]

@@ -1,0 +1,29 @@
+"""Fig. 5f / 5g / 5h — runtime breakdown: estimation vs accepted vs rejected.
+
+Paper shape: EO spends far more time on rejected answers than EW (which has a
+zero join-sampler rejection rate); the warm-up of the random-walk method costs
+more than the histogram warm-up; time spent producing accepted answers is
+similar across instantiations.
+"""
+
+import pytest
+
+from repro.experiments.figures import run_fig5_breakdown
+
+
+@pytest.mark.parametrize(
+    "figure,workload", [("fig5f", "UQ1"), ("fig5g", "UQ2"), ("fig5h", "UQ3")]
+)
+def test_fig5_time_breakdown(benchmark, config, record_table, figure, workload):
+    table = benchmark.pedantic(
+        run_fig5_breakdown, args=(workload, config), kwargs={"sample_size": 100},
+        rounds=1, iterations=1,
+    )
+    record_table(table, suffix=figure)
+    rows = {row["instantiation"]: row for row in table.rows}
+    assert set(rows) == {"histogram+EW", "histogram+EO", "random-walk+EW"}
+    # EW never rejects inside the join sampler; EO does.
+    assert rows["histogram+EW"]["join_sampler_rejections"] == 0
+    assert rows["histogram+EO"]["join_sampler_rejections"] >= 0
+    for row in table.rows:
+        assert row["accepted_seconds"] > 0

@@ -1,0 +1,29 @@
+"""Fig. 5c / 5d / 5e — SetUnion sampling time vs sample size (UQ1, UQ2, UQ3).
+
+Paper shape: runtime grows roughly linearly with the number of samples;
+histogram+EW and random-walk+EW are nearly indistinguishable (the accuracy of
+the warm-up bound has little effect on sampling efficiency), while
+histogram+EO is slower because EO weights add a per-draw rejection phase.
+"""
+
+import pytest
+
+from repro.experiments.figures import INSTANTIATIONS, run_fig5_sample_size
+
+
+@pytest.mark.parametrize(
+    "figure,workload", [("fig5c", "UQ1"), ("fig5d", "UQ2"), ("fig5e", "UQ3")]
+)
+def test_fig5_sampling_time_vs_sample_size(benchmark, config, record_table, figure, workload):
+    table = benchmark.pedantic(
+        run_fig5_sample_size, args=(workload, config), rounds=1, iterations=1
+    )
+    record_table(table, suffix=figure)
+    assert [row["samples"] for row in table.rows] == list(config.sample_sizes)
+    for label, _, _ in INSTANTIATIONS:
+        series = table.column(label)
+        assert all(value > 0 for value in series)
+    # Shape check: more samples never get cheaper by a large margin (roughly
+    # monotone growth, allowing for timer noise at this tiny scale).
+    ew = table.column("histogram+EW")
+    assert ew[-1] >= ew[0] * 0.5

@@ -1,0 +1,17 @@
+"""Fig. 5a — |J|/|U| ratio error per join: histogram+EO vs random-walk (UQ1).
+
+Paper shape: the random-walk estimator is substantially more accurate and more
+stable than the histogram-based bound on every join.
+"""
+
+from repro.experiments.figures import run_fig5a_ratio_error
+
+
+def test_fig5a_ratio_error(benchmark, config, record_table):
+    table = benchmark.pedantic(run_fig5a_ratio_error, args=(config,), rounds=1, iterations=1)
+    record_table(table)
+    walk = table.column("random_walk_error")
+    hist = table.column("histogram_eo_error")
+    assert len(walk) == len(hist) > 0
+    # Shape check: the random-walk estimator wins on average.
+    assert sum(walk) / len(walk) <= sum(hist) / len(hist) + 1e-9

@@ -1,0 +1,20 @@
+"""Fig. 5b — SetUnion sampling time vs data scale (UQ1).
+
+Paper shape: sampling time grows with the data scale for every instantiation;
+EO-based sampling degrades faster than EW because its rejection rate grows
+with relation size, while the choice of warm-up (histogram vs random-walk)
+has little impact on sampling efficiency when EW weights are used.
+"""
+
+from repro.experiments.figures import run_fig5b_data_scale
+
+
+def test_fig5b_data_scale(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig5b_data_scale, args=(config,), kwargs={"sample_size": 50},
+        rounds=1, iterations=1,
+    )
+    record_table(table)
+    assert [row["scale_factor"] for row in table.rows] == list(config.data_scales)
+    for label in ("histogram+EW", "histogram+EO", "random-walk+EW"):
+        assert all(value > 0 for value in table.column(label))

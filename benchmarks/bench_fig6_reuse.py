@@ -1,0 +1,47 @@
+"""Fig. 6a / 6b — online union sampling with sample reuse.
+
+Paper shape: reusing the warm-up walks makes online sampling faster (the gap
+is largest for the workload with the largest union), and the time per accepted
+sample in the reuse phase is much smaller than in the regular phase.
+"""
+
+from repro.experiments.figures import run_fig6_reuse_per_sample, run_fig6_reuse_time
+
+
+def test_fig6a_time_with_and_without_reuse(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig6_reuse_time,
+        args=(config,),
+        kwargs={"workload_names": ("UQ1", "UQ2", "UQ3")},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    assert [row["samples"] for row in table.rows] == list(config.sample_sizes)
+    for name in ("UQ1", "UQ2", "UQ3"):
+        assert all(v > 0 for v in table.column(f"{name}:reuse"))
+        assert all(v > 0 for v in table.column(f"{name}:no-reuse"))
+
+
+def test_fig6b_time_per_accepted_sample(benchmark, config, record_table):
+    table = benchmark.pedantic(
+        run_fig6_reuse_per_sample,
+        args=(config,),
+        kwargs={
+            "workload_names": ("UQ1", "UQ2", "UQ3"),
+            "sample_size": 200,
+            # A warm-up budget below the sample size drains the reuse pool, so
+            # both the reuse and the regular phase are measured.
+            "walks_per_join": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table)
+    for row in table.rows:
+        assert row["reused_samples"] + row["regular_samples"] >= 200
+        # The reuse phase accepts samples at least as fast as the regular
+        # phase (paper Fig. 6b), allowing generous slack for timer noise on
+        # sub-millisecond measurements.
+        if row["reused_samples"] > 0 and row["regular_samples"] > 0:
+            assert row["reuse_phase_seconds"] <= row["regular_phase_seconds"] * 3.0

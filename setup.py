@@ -1,0 +1,8 @@
+"""Setuptools shim so the package can be installed offline (no wheel available).
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``python setup.py develop`` / legacy editable installs in offline environments.
+"""
+from setuptools import setup
+
+setup()

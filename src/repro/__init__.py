@@ -1,0 +1,133 @@
+"""repro — Sampling over Union of Joins.
+
+A pure-Python reproduction of *Sampling over Union of Joins* (Liu, Xu,
+Nargesian): uniform, independent sampling from the set union of chain,
+acyclic, and cyclic joins without materializing the joins or the union,
+including the histogram-based and random-walk warm-up estimators and the
+online sampler with sample reuse and backtracking.
+
+Quickstart
+----------
+>>> from repro import build_uq1, SetUnionSampler, HistogramUnionEstimator
+>>> workload = build_uq1(scale_factor=0.001, overlap_scale=0.3, seed=7)
+>>> estimator = HistogramUnionEstimator(workload.queries, join_size_method="ew")
+>>> sampler = SetUnionSampler(workload.queries, estimator, seed=7)
+>>> result = sampler.sample(100)
+>>> len(result) == 100
+True
+"""
+
+from repro.analysis import chi_square_uniformity, mean_ratio_error
+from repro.core import (
+    BernoulliUnionSampler,
+    DisjointUnionSampler,
+    OnlineUnionSampler,
+    SampleResult,
+    SamplingStats,
+    SetUnionSampler,
+    UnionSample,
+)
+from repro.estimation import (
+    FullJoinUnion,
+    FullJoinUnionEstimator,
+    HistogramUnionEstimator,
+    RandomWalkUnionEstimator,
+    UnionParameters,
+    UnionSizeEstimator,
+)
+from repro.joins import (
+    JoinCondition,
+    JoinMembershipProber,
+    JoinQuery,
+    JoinType,
+    OutputAttribute,
+    UnionMembershipIndex,
+    build_join_tree,
+    exact_join_size,
+    exact_overlap_size,
+    exact_union_size,
+    execute_join,
+    find_standard_template,
+)
+from repro.relational import (
+    Attribute,
+    Comparison,
+    HashIndex,
+    InSet,
+    Relation,
+    Schema,
+)
+from repro.sampling import (
+    ExactWeightFunction,
+    ExtendedOlkenWeightFunction,
+    JoinSampler,
+    WanderJoin,
+    olken_upper_bound,
+)
+from repro.tpch import (
+    TPCHGenerator,
+    UnionWorkload,
+    build_uq1,
+    build_uq2,
+    build_uq3,
+    build_workload,
+    generate_tpch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # relational substrate
+    "Attribute",
+    "Schema",
+    "Relation",
+    "HashIndex",
+    "Comparison",
+    "InSet",
+    # join model
+    "JoinQuery",
+    "JoinType",
+    "JoinCondition",
+    "OutputAttribute",
+    "build_join_tree",
+    "execute_join",
+    "exact_join_size",
+    "exact_overlap_size",
+    "exact_union_size",
+    "JoinMembershipProber",
+    "UnionMembershipIndex",
+    "find_standard_template",
+    # single-join sampling
+    "JoinSampler",
+    "WanderJoin",
+    "ExactWeightFunction",
+    "ExtendedOlkenWeightFunction",
+    "olken_upper_bound",
+    # estimation
+    "UnionParameters",
+    "UnionSizeEstimator",
+    "FullJoinUnionEstimator",
+    "FullJoinUnion",
+    "HistogramUnionEstimator",
+    "RandomWalkUnionEstimator",
+    # union samplers
+    "DisjointUnionSampler",
+    "BernoulliUnionSampler",
+    "SetUnionSampler",
+    "OnlineUnionSampler",
+    "UnionSample",
+    "SampleResult",
+    "SamplingStats",
+    # data substrate
+    "TPCHGenerator",
+    "generate_tpch",
+    "UnionWorkload",
+    "build_uq1",
+    "build_uq2",
+    "build_uq3",
+    "build_workload",
+    # analysis
+    "chi_square_uniformity",
+    "mean_ratio_error",
+]

@@ -1,0 +1,35 @@
+"""Analysis utilities: uniformity tests and estimation-error metrics."""
+
+from repro.analysis.errors import (
+    absolute_error,
+    mean_ratio_error,
+    overlap_errors,
+    ratio_estimation_errors,
+    relative_error,
+    summarize_errors,
+    union_size_error,
+)
+from repro.analysis.uniformity import (
+    ChiSquareResult,
+    chi_square_sf,
+    chi_square_uniformity,
+    frequency_table,
+    max_absolute_deviation,
+    serial_independence_statistic,
+)
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "ratio_estimation_errors",
+    "mean_ratio_error",
+    "union_size_error",
+    "overlap_errors",
+    "summarize_errors",
+    "ChiSquareResult",
+    "chi_square_uniformity",
+    "chi_square_sf",
+    "frequency_table",
+    "max_absolute_deviation",
+    "serial_independence_statistic",
+]

@@ -1,0 +1,79 @@
+"""Expected sampling-cost model (Theorem 2 of the paper).
+
+Theorem 2 bounds the expected number of draws Algorithm 1 needs to return
+``N`` uniform, independent samples by
+
+    ψ  ≤  Σ_j N_j log N_j   with   N_j = N · |J'_j| / |U|,
+
+which telescopes to ``N + N log N``.  These helpers evaluate both forms from a
+set of :class:`~repro.estimation.parameters.UnionParameters` so experiments
+and tests can compare the observed draw counts of a sampler run against the
+analytical bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.result import SampleResult
+from repro.estimation.parameters import UnionParameters
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Expected-cost decomposition for a target sample size."""
+
+    sample_size: int
+    per_join_expected_samples: Dict[str, float]
+    per_join_expected_draws: Dict[str, float]
+    expected_total_draws: float
+    theorem2_bound: float
+
+    @property
+    def amplification(self) -> float:
+        """Expected draws per returned sample."""
+        if self.sample_size == 0:
+            return 0.0
+        return self.expected_total_draws / self.sample_size
+
+
+def expected_sampling_cost(parameters: UnionParameters, sample_size: int) -> CostEstimate:
+    """Evaluate the Theorem-2 cost model for ``sample_size`` target samples."""
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    probabilities = parameters.selection_probabilities(use_cover=True)
+    per_join_samples: Dict[str, float] = {}
+    per_join_draws: Dict[str, float] = {}
+    total = 0.0
+    for name in parameters.join_order:
+        expected_samples = sample_size * probabilities[name]
+        per_join_samples[name] = expected_samples
+        # Coupon-collector style term N_j log N_j (0 for N_j <= 1).
+        draws = expected_samples * math.log(expected_samples) if expected_samples > 1 else expected_samples
+        per_join_draws[name] = draws
+        total += draws
+    bound = sample_size + sample_size * math.log(sample_size) if sample_size > 1 else float(sample_size)
+    return CostEstimate(
+        sample_size=sample_size,
+        per_join_expected_samples=per_join_samples,
+        per_join_expected_draws=per_join_draws,
+        expected_total_draws=total,
+        theorem2_bound=bound,
+    )
+
+
+def observed_cost(result: SampleResult) -> Dict[str, float]:
+    """Observed cost counters of a finished sampler run, in Theorem-2 terms."""
+    accepted = max(len(result), 1)
+    return {
+        "samples": float(len(result)),
+        "iterations": float(result.stats.iterations),
+        "draws": float(result.stats.total_draws),
+        "draws_per_sample": result.stats.total_draws / accepted,
+        "iterations_per_sample": result.stats.iterations / accepted,
+    }
+
+
+__all__ = ["CostEstimate", "expected_sampling_cost", "observed_cost"]

@@ -1,0 +1,72 @@
+"""Error metrics for parameter estimation experiments (Fig. 4 and Fig. 5a)."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from repro.estimation.parameters import UnionParameters
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """``|estimate − truth|``."""
+    return abs(estimate - truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate − truth| / |truth|`` (infinite when the truth is zero)."""
+    if truth == 0:
+        return float("inf") if estimate != 0 else 0.0
+    return abs(estimate - truth) / abs(truth)
+
+
+def ratio_estimation_errors(
+    estimated: UnionParameters, exact: UnionParameters
+) -> Dict[str, float]:
+    """Per-join absolute error of the ``|J_j|/|U|`` ratio (the Fig. 4 metric)."""
+    return estimated.ratio_errors(exact)
+
+
+def mean_ratio_error(estimated: UnionParameters, exact: UnionParameters) -> float:
+    """Mean of the per-join ratio errors."""
+    errors = ratio_estimation_errors(estimated, exact)
+    if not errors:
+        return 0.0
+    return sum(errors.values()) / len(errors)
+
+
+def union_size_error(estimated: UnionParameters, exact: UnionParameters) -> float:
+    """Relative error of the union-size estimate."""
+    return relative_error(estimated.union_size, exact.union_size)
+
+
+def overlap_errors(
+    estimated: UnionParameters, exact: UnionParameters
+) -> Dict[frozenset, float]:
+    """Relative error of every overlap estimate present in both parameter sets."""
+    errors: Dict[frozenset, float] = {}
+    for subset, exact_value in exact.overlaps.items():
+        if subset in estimated.overlaps:
+            errors[subset] = relative_error(estimated.overlaps[subset], exact_value)
+    return errors
+
+
+def summarize_errors(values: Sequence[float]) -> Dict[str, float]:
+    """Minimum / mean / maximum of a sequence of error values."""
+    if not values:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
+
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "ratio_estimation_errors",
+    "mean_ratio_error",
+    "union_size_error",
+    "overlap_errors",
+    "summarize_errors",
+]

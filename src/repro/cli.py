@@ -1,0 +1,179 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows:
+
+``python -m repro sample``
+    Build a workload (UQ1/UQ2/UQ3), estimate union parameters with the chosen
+    warm-up method, draw N samples from the set union and print a summary.
+
+``python -m repro estimate``
+    Compare the histogram-based and random-walk warm-up estimators against the
+    exact FullJoinUnion baseline on a workload.
+
+``python -m repro figure``
+    Regenerate one of the paper's figures (fig4a ... fig6b, ablation-bernoulli,
+    ablation-template) and print its series table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.errors import mean_ratio_error
+from repro.core.online_sampler import OnlineUnionSampler
+from repro.core.union_sampler import (
+    BernoulliUnionSampler,
+    DisjointUnionSampler,
+    SetUnionSampler,
+)
+from repro.estimation.exact import FullJoinUnionEstimator
+from repro.estimation.histogram import HistogramUnionEstimator
+from repro.estimation.random_walk import RandomWalkUnionEstimator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import figures as figure_module
+from repro.tpch.workloads import build_workload
+
+#: figure name -> callable(config) -> SeriesTable
+FIGURES: Dict[str, Callable] = {
+    "fig4a": lambda cfg: figure_module.run_fig4_ratio_error("UQ1", cfg),
+    "fig4b": lambda cfg: figure_module.run_fig4_ratio_error("UQ3", cfg),
+    "fig4c": lambda cfg: figure_module.run_fig4_runtime("UQ1", cfg),
+    "fig4d": lambda cfg: figure_module.run_fig4_runtime("UQ3", cfg),
+    "fig5a": lambda cfg: figure_module.run_fig5a_ratio_error(cfg),
+    "fig5b": lambda cfg: figure_module.run_fig5b_data_scale(cfg),
+    "fig5c": lambda cfg: figure_module.run_fig5_sample_size("UQ1", cfg),
+    "fig5d": lambda cfg: figure_module.run_fig5_sample_size("UQ2", cfg),
+    "fig5e": lambda cfg: figure_module.run_fig5_sample_size("UQ3", cfg),
+    "fig5f": lambda cfg: figure_module.run_fig5_breakdown("UQ1", cfg),
+    "fig5g": lambda cfg: figure_module.run_fig5_breakdown("UQ2", cfg),
+    "fig5h": lambda cfg: figure_module.run_fig5_breakdown("UQ3", cfg),
+    "fig6a": lambda cfg: figure_module.run_fig6_reuse_time(cfg),
+    "fig6b": lambda cfg: figure_module.run_fig6_reuse_per_sample(cfg),
+    "ablation-bernoulli": lambda cfg: figure_module.run_ablation_bernoulli(cfg),
+    "ablation-template": lambda cfg: figure_module.run_ablation_template(cfg),
+}
+
+SAMPLERS = ("set-union", "online", "bernoulli", "disjoint")
+WARMUPS = ("histogram", "random-walk", "exact")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sampling over Union of Joins — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sample = sub.add_parser("sample", help="sample the set union of a workload")
+    _add_workload_arguments(sample)
+    sample.add_argument("--samples", type=int, default=200, help="number of samples to draw")
+    sample.add_argument("--sampler", choices=SAMPLERS, default="set-union")
+    sample.add_argument("--warmup", choices=WARMUPS, default="histogram")
+    sample.add_argument("--weights", choices=("ew", "eo"), default="ew",
+                        help="single-join sampling weights")
+
+    estimate = sub.add_parser("estimate", help="compare warm-up estimators on a workload")
+    _add_workload_arguments(estimate)
+    estimate.add_argument("--walks", type=int, default=500,
+                          help="random-walk warm-up walks per join")
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=sorted(FIGURES), help="figure identifier")
+    figure.add_argument("--scale-factor", type=float, default=0.001)
+    figure.add_argument("--walks", type=int, default=300)
+    figure.add_argument("--seed", type=int, default=2023)
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=("UQ1", "UQ2", "UQ3"), default="UQ1")
+    parser.add_argument("--scale-factor", type=float, default=0.001)
+    parser.add_argument("--overlap-scale", type=float, default=0.3)
+    parser.add_argument("--seed", type=int, default=2023)
+
+
+def _make_estimator(name: str, queries, args):
+    if name == "histogram":
+        return HistogramUnionEstimator(queries, join_size_method=getattr(args, "weights", "ew"))
+    if name == "random-walk":
+        return RandomWalkUnionEstimator(
+            queries, walks_per_join=getattr(args, "walks", 500), seed=args.seed
+        )
+    return FullJoinUnionEstimator(queries)
+
+
+def command_sample(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
+    queries = workload.queries
+    if args.sampler == "online":
+        sampler = OnlineUnionSampler(queries, seed=args.seed, join_weights=args.weights)
+    else:
+        estimator = _make_estimator(args.warmup, queries, args)
+        if args.sampler == "set-union":
+            sampler = SetUnionSampler(queries, estimator, join_weights=args.weights, seed=args.seed)
+        elif args.sampler == "bernoulli":
+            sampler = BernoulliUnionSampler(queries, estimator, join_weights=args.weights,
+                                            seed=args.seed)
+        else:
+            sampler = DisjointUnionSampler(queries, estimator, join_weights=args.weights,
+                                           seed=args.seed)
+    result = sampler.sample(args.samples)
+    print(f"workload={workload.name} sampler={args.sampler} warmup={args.warmup} "
+          f"weights={args.weights}")
+    print(f"samples drawn      : {len(result)}")
+    print(f"per-join samples   : {result.sources()}")
+    print(f"iterations         : {result.stats.iterations} "
+          f"(acceptance rate {result.stats.acceptance_rate:.2f})")
+    print(f"time breakdown (s) : {result.stats.breakdown()}")
+    print("first 5 samples:")
+    for value in result.values()[:5]:
+        print(f"  {value}")
+    return 0
+
+
+def command_estimate(args: argparse.Namespace) -> int:
+    workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
+    queries = workload.queries
+    exact = FullJoinUnionEstimator(queries).estimate()
+    histogram = HistogramUnionEstimator(queries, join_size_method="eo").estimate()
+    walks = RandomWalkUnionEstimator(queries, walks_per_join=args.walks, seed=args.seed).estimate()
+    print(f"workload={workload.name}  joins={workload.query_names}")
+    print(f"{'method':<14} {'|U| estimate':>14} {'mean |J|/|U| error':>20}")
+    print(f"{'exact':<14} {exact.union_size:14.1f} {0.0:20.4f}")
+    print(f"{'histogram+EO':<14} {histogram.union_size:14.1f} "
+          f"{mean_ratio_error(histogram, exact):20.4f}")
+    print(f"{'random-walk':<14} {walks.union_size:14.1f} "
+          f"{mean_ratio_error(walks, exact):20.4f}")
+    return 0
+
+
+def command_figure(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        scale_factor=args.scale_factor,
+        walks_per_join=args.walks,
+        seed=args.seed,
+        overlap_scales=(0.1, 0.3, 0.6),
+        sample_sizes=(25, 50, 100),
+        data_scales=(0.0005, 0.001, 0.002),
+    )
+    table = FIGURES[args.name](config)
+    print(table.to_text())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "sample":
+        return command_sample(args)
+    if args.command == "estimate":
+        return command_estimate(args)
+    if args.command == "figure":
+        return command_figure(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

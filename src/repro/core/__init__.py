@@ -1,0 +1,21 @@
+"""Core union-sampling algorithms and result containers."""
+
+from repro.core.online_sampler import OnlineUnionSampler
+from repro.core.result import SampleResult, SamplingStats, UnionSample
+from repro.core.union_sampler import (
+    BernoulliUnionSampler,
+    DisjointUnionSampler,
+    SetUnionSampler,
+    UnionSamplerBase,
+)
+
+__all__ = [
+    "UnionSample",
+    "SamplingStats",
+    "SampleResult",
+    "UnionSamplerBase",
+    "DisjointUnionSampler",
+    "BernoulliUnionSampler",
+    "SetUnionSampler",
+    "OnlineUnionSampler",
+]

@@ -1,0 +1,319 @@
+"""Union sampling algorithms: disjoint union, Bernoulli set union, and
+non-Bernoulli (cover-based) set union — Algorithm 1 of the paper.
+
+All samplers share the same shape: a warm-up supplies
+:class:`~repro.estimation.parameters.UnionParameters` (join sizes, cover
+sizes, union size), then every iteration selects a join, draws one uniform
+sample from it via a single-join :class:`~repro.sampling.join_sampler.JoinSampler`,
+and decides whether to keep the tuple so that the accepted stream is uniform
+over the *set union* (or trivially uniform over the disjoint union).
+
+Three set-union selection/deduplication policies are provided:
+
+* **Bernoulli** (§3, the "union trick"): every join is independently selected
+  with probability ``|J_j|/|U|`` each iteration; a tuple is kept only when it
+  is drawn from the first join that contains it.
+* **record** (Algorithm 1 as printed): joins are selected with probability
+  ``|J'_j|/|U|``; ownership of values is tracked in the ``orig_join`` record
+  and corrected with *revisions* when a lower-index join later samples the
+  same value.
+* **strict**: joins are selected proportionally to their full sizes and a
+  membership probe enforces the lowest-index cover exactly.  Every accepted
+  tuple then has probability exactly ``1/|U|`` — this is the variant used by
+  the statistical uniformity tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.result import SampleResult, SamplingStats, UnionSample
+from repro.estimation.base import UnionSizeEstimator
+from repro.estimation.parameters import UnionParameters
+from repro.joins.membership import UnionMembershipIndex
+from repro.joins.query import JoinQuery, check_union_compatible
+from repro.sampling.join_sampler import JoinSampler
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+class UnionSamplerBase:
+    """Shared machinery: per-join samplers, selection distribution, timing."""
+
+    algorithm = "base"
+
+    def __init__(
+        self,
+        queries: Sequence[JoinQuery],
+        parameters: UnionParameters | UnionSizeEstimator,
+        join_weights: str = "ew",
+        seed: RandomState = None,
+        max_iterations_factor: int = 1000,
+    ) -> None:
+        check_union_compatible(list(queries))
+        self.queries: List[JoinQuery] = list(queries)
+        self.names: List[str] = [q.name for q in self.queries]
+        self.join_weights = join_weights
+        self.max_iterations_factor = max_iterations_factor
+        self.rng = ensure_rng(seed)
+        self.stats = SamplingStats()
+
+        with self.stats.timer.phase("warmup"):
+            if isinstance(parameters, UnionSizeEstimator):
+                parameters = parameters.estimate()
+            self.parameters = parameters
+            sampler_seeds = spawn_rngs(self.rng, len(self.queries))
+            self.join_samplers: Dict[str, JoinSampler] = {
+                q.name: JoinSampler(q, weights=join_weights, seed=s)
+                for q, s in zip(self.queries, sampler_seeds)
+            }
+
+        missing = [n for n in self.names if n not in self.parameters.join_sizes]
+        if missing:
+            raise ValueError(f"parameters missing join sizes for {missing}")
+
+    # ------------------------------------------------------------------ hooks
+    def _iterate(self) -> List[UnionSample]:
+        """One sampler iteration; returns the samples accepted in it."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- public
+    def sample(self, count: int) -> SampleResult:
+        """Draw ``count`` samples from the union (with replacement)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        accepted: List[UnionSample] = []
+        max_iterations = max(count, 1) * self.max_iterations_factor
+        while len(accepted) < count:
+            if self.stats.iterations >= max_iterations:
+                raise RuntimeError(
+                    f"{type(self).__name__} exceeded {max_iterations} iterations "
+                    f"while collecting {count} samples (rejection rate too high)"
+                )
+            self.stats.iterations += 1
+            started = time.perf_counter()
+            new_samples = self._iterate()
+            elapsed = time.perf_counter() - started
+            if new_samples:
+                self.stats.timer.add("accepted", elapsed)
+                accepted.extend(new_samples)
+                self.stats.accepted += len(new_samples)
+            else:
+                self.stats.timer.add("rejected", elapsed)
+        self._collect_join_sampler_stats()
+        return SampleResult(
+            samples=accepted[:count] if count else [],
+            parameters=self.parameters,
+            stats=self.stats,
+            algorithm=self.algorithm,
+        )
+
+    # --------------------------------------------------------------- internal
+    def _collect_join_sampler_stats(self) -> None:
+        attempts = sum(s.stats.attempts for s in self.join_samplers.values())
+        accepted = sum(s.stats.accepted for s in self.join_samplers.values())
+        self.stats.join_sampler_attempts = attempts
+        self.stats.join_sampler_rejections = attempts - accepted
+
+    def _select_join(self, probabilities: Dict[str, float]) -> str:
+        names = self.names
+        weights = [max(probabilities.get(n, 0.0), 0.0) for n in names]
+        total = sum(weights)
+        if total <= 0:
+            return names[int(self.rng.integers(0, len(names)))]
+        target = self.rng.random() * total
+        cumulative = 0.0
+        for name, weight in zip(names, weights):
+            cumulative += weight
+            if target < cumulative:
+                return name
+        return names[-1]
+
+    def _draw(self, join_name: str):
+        self.stats.record_draw(join_name)
+        return self.join_samplers[join_name].sample()
+
+
+class DisjointUnionSampler(UnionSamplerBase):
+    """Sampling from the disjoint (bag) union — Definition 1.
+
+    Selects a join with probability ``|J_j| / (|J_1| + ... + |J_n|)`` and keeps
+    every drawn tuple; accepted tuples are uniform over the disjoint union.
+    """
+
+    algorithm = "disjoint-union"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._probabilities = self.parameters.selection_probabilities(use_cover=False)
+
+    def _iterate(self) -> List[UnionSample]:
+        join_name = self._select_join(self._probabilities)
+        draw = self._draw(join_name)
+        return [UnionSample(draw.value, join_name, self.stats.iterations)]
+
+
+class BernoulliUnionSampler(UnionSamplerBase):
+    """Set-union sampling with Bernoulli join selection (§3, the union trick).
+
+    Each iteration every join is independently selected with probability
+    ``|J_j|/|U|``; a drawn tuple is kept only when the drawing join is the
+    first join (in declaration order) containing the value, which gives every
+    value in the union probability exactly ``1/|U|`` per iteration.
+    """
+
+    algorithm = "bernoulli-set-union"
+
+    def __init__(self, *args, membership: Optional[UnionMembershipIndex] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.membership = membership or UnionMembershipIndex(self.queries)
+
+    def _iterate(self) -> List[UnionSample]:
+        union_size = max(self.parameters.union_size, 1e-12)
+        accepted: List[UnionSample] = []
+        for position, query in enumerate(self.queries):
+            probability = min(self.parameters.join_sizes[query.name] / union_size, 1.0)
+            if self.rng.random() >= probability:
+                self.stats.rejected_not_selected += 1
+                continue
+            draw = self._draw(query.name)
+            if self._owned_by_earlier(position, draw.value):
+                self.stats.rejected_duplicate += 1
+                continue
+            accepted.append(UnionSample(draw.value, query.name, self.stats.iterations))
+        return accepted
+
+    def _owned_by_earlier(self, position: int, value: Tuple) -> bool:
+        for earlier in self.queries[:position]:
+            if self.membership.contains(earlier.name, value):
+                return True
+        return False
+
+
+class SetUnionSampler(UnionSamplerBase):
+    """Non-Bernoulli set-union sampling — Algorithm 1.
+
+    ``mode="record"`` reproduces the printed algorithm: the ``orig_join``
+    record remembers which join first produced each value; a tuple drawn from
+    a higher-index join than the recorded owner is rejected, and a tuple drawn
+    from a lower-index join triggers a *revision* that reassigns ownership and
+    drops the previously accepted copies.
+
+    ``mode="strict"`` enforces the lowest-index cover with membership probes
+    and selects joins proportionally to their full sizes; accepted tuples are
+    then uniform over the union by construction (used for uniformity tests).
+    """
+
+    algorithm = "set-union"
+
+    def __init__(
+        self,
+        queries: Sequence[JoinQuery],
+        parameters: UnionParameters | UnionSizeEstimator,
+        join_weights: str = "ew",
+        seed: RandomState = None,
+        mode: str = "record",
+        membership: Optional[UnionMembershipIndex] = None,
+        max_iterations_factor: int = 1000,
+    ) -> None:
+        super().__init__(
+            queries,
+            parameters,
+            join_weights=join_weights,
+            seed=seed,
+            max_iterations_factor=max_iterations_factor,
+        )
+        if mode not in ("record", "strict"):
+            raise ValueError("mode must be 'record' or 'strict'")
+        self.mode = mode
+        self.membership = membership
+        if mode == "strict" and self.membership is None:
+            self.membership = UnionMembershipIndex(self.queries)
+        self._probabilities = self.parameters.selection_probabilities(
+            use_cover=(mode == "record")
+        )
+        self._positions = {name: i for i, name in enumerate(self.names)}
+        #: value -> index of the join currently recorded as its origin
+        self._orig_join: Dict[Tuple, int] = {}
+        #: accepted samples (shared across iterations so revisions can drop them)
+        self._accepted: List[UnionSample] = []
+
+    # -------------------------------------------------------------- iteration
+    def _iterate(self) -> List[UnionSample]:
+        join_name = self._select_join(self._probabilities)
+        position = self._positions[join_name]
+        draw = self._draw(join_name)
+        value = draw.value
+
+        if self.mode == "strict":
+            if self._owned_by_earlier(position, value):
+                self.stats.rejected_duplicate += 1
+                return []
+            sample = UnionSample(value, join_name, self.stats.iterations)
+            self._accepted.append(sample)
+            return [sample]
+
+        recorded = self._orig_join.get(value)
+        if recorded is not None and recorded < position:
+            # Already owned by an earlier join in the cover order: reject.
+            self.stats.rejected_duplicate += 1
+            return []
+        if recorded is not None and recorded > position:
+            # Revision: the cover says this value belongs to the earlier join.
+            self.stats.revisions += 1
+            removed = self._remove_value(value)
+            self.stats.revision_removed += removed
+        self._orig_join[value] = position
+        sample = UnionSample(value, join_name, self.stats.iterations)
+        self._accepted.append(sample)
+        return [sample]
+
+    def _owned_by_earlier(self, position: int, value: Tuple) -> bool:
+        assert self.membership is not None
+        for earlier in self.queries[:position]:
+            if self.membership.contains(earlier.name, value):
+                return True
+        return False
+
+    def _remove_value(self, value: Tuple) -> int:
+        """Drop all previously accepted copies of ``value`` (revision step)."""
+        before = len(self._accepted)
+        self._accepted = [s for s in self._accepted if s.value != value]
+        return before - len(self._accepted)
+
+    # ----------------------------------------------------------------- public
+    def sample(self, count: int) -> SampleResult:
+        """Draw ``count`` samples, honouring revisions (which may shrink the pool)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        max_iterations = max(count, 1) * self.max_iterations_factor
+        while len(self._accepted) < count:
+            if self.stats.iterations >= max_iterations:
+                raise RuntimeError(
+                    f"SetUnionSampler exceeded {max_iterations} iterations while "
+                    f"collecting {count} samples"
+                )
+            self.stats.iterations += 1
+            started = time.perf_counter()
+            new_samples = self._iterate()
+            elapsed = time.perf_counter() - started
+            if new_samples:
+                self.stats.timer.add("accepted", elapsed)
+                self.stats.accepted += len(new_samples)
+            else:
+                self.stats.timer.add("rejected", elapsed)
+        self._collect_join_sampler_stats()
+        return SampleResult(
+            samples=list(self._accepted[:count]),
+            parameters=self.parameters,
+            stats=self.stats,
+            algorithm=f"{self.algorithm}-{self.mode}",
+        )
+
+
+__all__ = [
+    "UnionSamplerBase",
+    "DisjointUnionSampler",
+    "BernoulliUnionSampler",
+    "SetUnionSampler",
+]

@@ -1,0 +1,36 @@
+"""Warm-up phase estimators: exact, histogram-based, and random-walk."""
+
+from repro.estimation.base import UnionSizeEstimator
+from repro.estimation.exact import FullJoinUnion, FullJoinUnionEstimator
+from repro.estimation.histogram import HistogramUnionEstimator
+from repro.estimation.parameters import UnionParameters
+from repro.estimation.random_walk import (
+    CollectedSample,
+    OverlapEstimate,
+    RandomWalkUnionEstimator,
+)
+from repro.estimation.union_size import (
+    compute_all_overlaps,
+    compute_k_overlaps,
+    cover_sizes_from_overlaps,
+    powerset,
+    union_size_from_k_overlaps,
+    union_size_inclusion_exclusion,
+)
+
+__all__ = [
+    "UnionParameters",
+    "UnionSizeEstimator",
+    "FullJoinUnionEstimator",
+    "FullJoinUnion",
+    "HistogramUnionEstimator",
+    "RandomWalkUnionEstimator",
+    "CollectedSample",
+    "OverlapEstimate",
+    "powerset",
+    "compute_all_overlaps",
+    "compute_k_overlaps",
+    "union_size_from_k_overlaps",
+    "cover_sizes_from_overlaps",
+    "union_size_inclusion_exclusion",
+]

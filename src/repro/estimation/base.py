@@ -1,0 +1,92 @@
+"""Base class shared by all union-parameter estimators (the warm-up phase).
+
+An estimator has to answer two questions — "how big is join ``J_j``?" and
+"how big is the overlap of the joins in Δ?" — and everything else (k-overlaps,
+union size, cover sizes) follows from the calculus in
+:mod:`repro.estimation.union_size`.  Subclasses implement :meth:`join_size`
+and :meth:`overlap`; :meth:`estimate` assembles a
+:class:`~repro.estimation.parameters.UnionParameters`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.estimation.parameters import UnionParameters
+from repro.estimation.union_size import (
+    compute_all_overlaps,
+    compute_k_overlaps,
+    cover_sizes_from_overlaps,
+    union_size_from_k_overlaps,
+)
+from repro.joins.query import JoinQuery, check_union_compatible
+
+
+class UnionSizeEstimator(ABC):
+    """Estimates join sizes, overlap sizes, cover sizes and the union size."""
+
+    #: identifier recorded in the produced :class:`UnionParameters`
+    method: str = "abstract"
+
+    def __init__(self, queries: Sequence[JoinQuery]) -> None:
+        check_union_compatible(list(queries))
+        self.queries: List[JoinQuery] = list(queries)
+        self._by_name: Dict[str, JoinQuery] = {q.name: q for q in self.queries}
+        self._overlap_cache: Dict[FrozenSet[str], float] = {}
+
+    # ------------------------------------------------------------------ hooks
+    @abstractmethod
+    def join_size(self, query: JoinQuery) -> float:
+        """Estimate (or bound) ``|J_j|``."""
+
+    @abstractmethod
+    def overlap(self, queries: Sequence[JoinQuery]) -> float:
+        """Estimate (or bound) ``|O_Δ|`` for two or more joins."""
+
+    def prepare(self) -> None:
+        """Optional warm-up hook (e.g. random walks); called once by estimate()."""
+
+    # --------------------------------------------------------------- assembly
+    def query(self, name: str) -> JoinQuery:
+        return self._by_name[name]
+
+    def overlap_of(self, subset: FrozenSet[str]) -> float:
+        """Cached ``|O_Δ|`` lookup by join names (singletons -> join size)."""
+        if subset not in self._overlap_cache:
+            members = [self._by_name[name] for name in subset]
+            if len(members) == 1:
+                value = float(self.join_size(members[0]))
+            else:
+                value = float(self.overlap(members))
+            self._overlap_cache[subset] = max(value, 0.0)
+        return self._overlap_cache[subset]
+
+    def estimate(self) -> UnionParameters:
+        """Full warm-up: every ``|O_Δ|``, k-overlaps, ``|U|`` and cover sizes."""
+        started = time.perf_counter()
+        self.prepare()
+        names = [q.name for q in self.queries]
+        overlaps = compute_all_overlaps(names, self.overlap_of)
+        k_overlaps = compute_k_overlaps(names, overlaps)
+        union_size = union_size_from_k_overlaps(k_overlaps)
+        join_sizes = {name: overlaps[frozenset([name])] for name in names}
+        # The union can never be smaller than the largest join nor larger than
+        # the disjoint union; clamp estimation noise into that window.
+        union_size = min(max(union_size, max(join_sizes.values(), default=0.0)),
+                         sum(join_sizes.values()))
+        covers = cover_sizes_from_overlaps(names, overlaps)
+        elapsed = time.perf_counter() - started
+        return UnionParameters(
+            join_order=names,
+            join_sizes=join_sizes,
+            cover_sizes=covers,
+            union_size=union_size,
+            overlaps={k: v for k, v in overlaps.items() if len(k) >= 2},
+            method=self.method,
+            metadata={"k_overlaps": k_overlaps, "warmup_seconds": elapsed},
+        )
+
+
+__all__ = ["UnionSizeEstimator"]

@@ -1,0 +1,115 @@
+"""Union sampling parameters.
+
+Every instantiation of the union-sampling framework (exact, histogram-based,
+random-walk) produces the same bundle of quantities that Algorithm 1 and 2
+consume: per-join sizes ``|J_j|``, cover sizes ``|J'_j|``, the union size
+``|U|`` and the pairwise-and-higher overlap sizes ``|O_Δ|``.
+:class:`UnionParameters` is that bundle; samplers accept any instance of it,
+which is what makes the estimators interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Sequence
+
+
+@dataclass
+class UnionParameters:
+    """Parameter estimates shared by all union-sampling algorithms.
+
+    Attributes
+    ----------
+    join_order:
+        Join names in declaration order (the cover order of §3.1).
+    join_sizes:
+        ``|J_j|`` per join name.
+    cover_sizes:
+        ``|J'_j|`` per join name (size of the join's exclusive cover region).
+    union_size:
+        ``|U| = |J_1 ∪ ... ∪ J_n|``.
+    overlaps:
+        ``|O_Δ|`` per subset Δ of join names with ``|Δ| >= 2``.
+    method:
+        Name of the estimator that produced these values.
+    metadata:
+        Free-form extra information (template used, walk counts, timings ...).
+    """
+
+    join_order: Sequence[str]
+    join_sizes: Dict[str, float]
+    cover_sizes: Dict[str, float]
+    union_size: float
+    overlaps: Dict[FrozenSet[str], float] = field(default_factory=dict)
+    method: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.join_order = tuple(self.join_order)
+        missing = [n for n in self.join_order if n not in self.join_sizes]
+        if missing:
+            raise ValueError(f"join_sizes missing entries for {missing}")
+        missing = [n for n in self.join_order if n not in self.cover_sizes]
+        if missing:
+            raise ValueError(f"cover_sizes missing entries for {missing}")
+        if self.union_size < 0:
+            raise ValueError("union_size must be non-negative")
+
+    # ------------------------------------------------------------------ views
+    def join_size(self, name: str) -> float:
+        return self.join_sizes[name]
+
+    def cover_size(self, name: str) -> float:
+        return self.cover_sizes[name]
+
+    def overlap(self, names: Sequence[str]) -> float:
+        """``|O_Δ|`` for the given joins (``|J_j|`` when only one name is given)."""
+        key = frozenset(names)
+        if len(key) == 1:
+            return self.join_sizes[next(iter(key))]
+        return self.overlaps.get(key, 0.0)
+
+    def join_to_union_ratio(self, name: str) -> float:
+        """``|J_j| / |U|`` — the quantity whose estimation error Fig. 4/5a reports."""
+        if self.union_size <= 0:
+            return 0.0
+        return self.join_sizes[name] / self.union_size
+
+    def selection_probabilities(self, use_cover: bool = True) -> Dict[str, float]:
+        """Normalized join-selection distribution for the samplers.
+
+        With ``use_cover=True`` (Algorithm 1) probabilities are proportional to
+        the cover sizes ``|J'_j|``; otherwise to the full join sizes ``|J_j|``
+        (the disjoint-union / strict-cover variants).
+        """
+        weights = self.cover_sizes if use_cover else self.join_sizes
+        values = [max(weights[n], 0.0) for n in self.join_order]
+        total = sum(values)
+        if total <= 0:
+            uniform = 1.0 / len(self.join_order)
+            return {n: uniform for n in self.join_order}
+        return {n: v / total for n, v in zip(self.join_order, values)}
+
+    def disjoint_union_size(self) -> float:
+        """``|J_1| + ... + |J_n|`` (the disjoint-union size)."""
+        return sum(self.join_sizes[n] for n in self.join_order)
+
+    # ------------------------------------------------------------- diagnostics
+    def ratio_errors(self, exact: "UnionParameters") -> Dict[str, float]:
+        """Absolute error of ``|J_j|/|U|`` against exact parameters (Fig. 4a/4b/5a)."""
+        return {
+            name: abs(self.join_to_union_ratio(name) - exact.join_to_union_ratio(name))
+            for name in self.join_order
+        }
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "union_size": self.union_size,
+            "join_sizes": dict(self.join_sizes),
+            "cover_sizes": dict(self.cover_sizes),
+            "disjoint_union_size": self.disjoint_union_size(),
+        }
+
+
+__all__ = ["UnionParameters"]

@@ -1,0 +1,40 @@
+"""Experiment harness reproducing the paper's figures (§9) and ablations."""
+
+from repro.experiments.config import BENCH_CONFIG, DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.figures import (
+    INSTANTIATIONS,
+    build_workload,
+    make_estimator,
+    run_ablation_bernoulli,
+    run_ablation_template,
+    run_fig4_ratio_error,
+    run_fig4_runtime,
+    run_fig5_breakdown,
+    run_fig5_sample_size,
+    run_fig5a_ratio_error,
+    run_fig5b_data_scale,
+    run_fig6_reuse_per_sample,
+    run_fig6_reuse_time,
+)
+from repro.experiments.reporting import SeriesTable, combine_tables
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "BENCH_CONFIG",
+    "SeriesTable",
+    "combine_tables",
+    "INSTANTIATIONS",
+    "build_workload",
+    "make_estimator",
+    "run_fig4_ratio_error",
+    "run_fig4_runtime",
+    "run_fig5a_ratio_error",
+    "run_fig5b_data_scale",
+    "run_fig5_sample_size",
+    "run_fig5_breakdown",
+    "run_fig6_reuse_time",
+    "run_fig6_reuse_per_sample",
+    "run_ablation_bernoulli",
+    "run_ablation_template",
+]

@@ -1,0 +1,76 @@
+"""Plain-text reporting for the figure-reproduction experiments.
+
+The paper reports its evaluation as line plots; this module renders the same
+series as aligned text tables so that running a benchmark prints the rows the
+corresponding figure plots (one row per x-axis point, one column per series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class SeriesTable:
+    """A figure rendered as a table: one row per x value, one column per series."""
+
+    title: str
+    x_label: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def add_row(self, x_value: object, **series: object) -> None:
+        """Append one x-axis point with its per-series values."""
+        row: Dict[str, object] = {self.x_label: x_value}
+        row.update(series)
+        self.rows.append(row)
+
+    @property
+    def columns(self) -> List[str]:
+        columns: List[str] = [self.x_label]
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order (None when missing)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """Render the table as aligned plain text."""
+        columns = self.columns
+        rendered: List[List[str]] = [columns]
+        for row in self.rows:
+            rendered.append([_format_cell(row.get(c), float_format) for c in columns])
+        widths = [max(len(r[i]) for r in rendered) for i in range(len(columns))]
+        lines = [f"# {self.title}"]
+        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered[1:]:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print()
+        print(self.to_text())
+
+
+def _format_cell(value: object, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)
+
+
+def combine_tables(tables: Sequence[SeriesTable]) -> str:
+    """Concatenate several rendered tables with blank lines between them."""
+    return "\n\n".join(t.to_text() for t in tables)
+
+
+__all__ = ["SeriesTable", "combine_tables"]

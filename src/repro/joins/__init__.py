@@ -1,0 +1,57 @@
+"""Join query model: queries, join trees, execution, membership, splitting, templates."""
+
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.joins.executor import (
+    exact_disjoint_union_size,
+    exact_join_size,
+    exact_overlap_size,
+    exact_union_size,
+    execute_join,
+    iterate_join_assignments,
+    join_result_set,
+)
+from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
+from repro.joins.membership import JoinMembershipProber, UnionMembershipIndex
+from repro.joins.query import JoinQuery, JoinType, check_union_compatible
+from repro.joins.splitting import (
+    SplitChain,
+    SplitRelation,
+    build_split_chain,
+    build_split_chains,
+)
+from repro.joins.template import (
+    Template,
+    attribute_distance,
+    find_standard_template,
+    pairwise_scores,
+    relation_distances,
+)
+
+__all__ = [
+    "JoinCondition",
+    "OutputAttribute",
+    "JoinQuery",
+    "JoinType",
+    "check_union_compatible",
+    "JoinTree",
+    "JoinTreeNode",
+    "build_join_tree",
+    "execute_join",
+    "iterate_join_assignments",
+    "join_result_set",
+    "exact_join_size",
+    "exact_overlap_size",
+    "exact_union_size",
+    "exact_disjoint_union_size",
+    "JoinMembershipProber",
+    "UnionMembershipIndex",
+    "SplitChain",
+    "SplitRelation",
+    "build_split_chain",
+    "build_split_chains",
+    "Template",
+    "attribute_distance",
+    "find_standard_template",
+    "pairwise_scores",
+    "relation_distances",
+]

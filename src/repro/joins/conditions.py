@@ -1,0 +1,96 @@
+"""Equi-join conditions and output attribute mappings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join condition ``left.left_attribute == right.right_attribute``.
+
+    The two sides reference relations by name within one
+    :class:`~repro.joins.query.JoinQuery`.  A pair of relations may be linked
+    by several conditions (a composite join key); the join-tree builder groups
+    such conditions onto one edge.
+    """
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+    def __post_init__(self) -> None:
+        if self.left_relation == self.right_relation:
+            raise ValueError(
+                "self-join conditions must reference two aliases of the relation; "
+                f"got {self.left_relation!r} on both sides"
+            )
+
+    def relations(self) -> Tuple[str, str]:
+        return (self.left_relation, self.right_relation)
+
+    def touches(self, relation: str) -> bool:
+        return relation in (self.left_relation, self.right_relation)
+
+    def attribute_for(self, relation: str) -> str:
+        """The attribute of this condition that lives in ``relation``."""
+        if relation == self.left_relation:
+            return self.left_attribute
+        if relation == self.right_relation:
+            return self.right_attribute
+        raise KeyError(f"{relation!r} is not part of this condition: {self}")
+
+    def other(self, relation: str) -> Tuple[str, str]:
+        """The ``(relation, attribute)`` pair on the other side of ``relation``."""
+        if relation == self.left_relation:
+            return (self.right_relation, self.right_attribute)
+        if relation == self.right_relation:
+            return (self.left_relation, self.left_attribute)
+        raise KeyError(f"{relation!r} is not part of this condition: {self}")
+
+    def reversed(self) -> "JoinCondition":
+        return JoinCondition(
+            self.right_relation, self.right_attribute, self.left_relation, self.left_attribute
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.left_relation}.{self.left_attribute} = "
+            f"{self.right_relation}.{self.right_attribute}"
+        )
+
+
+@dataclass(frozen=True)
+class OutputAttribute:
+    """Maps one attribute of the join's output schema to its source.
+
+    The union of joins requires every join to produce the same output schema
+    (paper §2).  Each join therefore declares, for every standardized output
+    name, which of its relations and attributes supplies the value.
+
+    Attributes
+    ----------
+    name:
+        The standardized output attribute name (shared across joins).
+    relation:
+        The relation (within this join) that supplies the value.
+    attribute:
+        The attribute of ``relation`` holding the value.
+    """
+
+    name: str
+    relation: str
+    attribute: str
+
+    @classmethod
+    def direct(cls, relation: str, attribute: str) -> "OutputAttribute":
+        """Output attribute whose standardized name equals the source attribute."""
+        return cls(attribute, relation, attribute)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} <- {self.relation}.{self.attribute}"
+
+
+__all__ = ["JoinCondition", "OutputAttribute"]

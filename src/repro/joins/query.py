@@ -1,0 +1,251 @@
+"""Join queries.
+
+A :class:`JoinQuery` bundles base relations, equi-join conditions, optional
+pushed-down selection predicates, and an output-attribute mapping.  It is the
+unit the union-sampling framework operates on: the set ``S = {J_1, ..., J_n}``
+of the paper is a list of :class:`JoinQuery` objects with aligned output
+schemas.
+
+The query classifies itself as *chain*, *acyclic*, or *cyclic* from its join
+graph, matching the three join classes handled by the paper.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.relational.predicates import Predicate
+from repro.relational.relation import Relation
+
+
+class JoinType(str, Enum):
+    """The structural class of a join query."""
+
+    CHAIN = "chain"
+    ACYCLIC = "acyclic"
+    CYCLIC = "cyclic"
+
+
+class JoinQuery:
+    """A multi-way equi-join over named base relations.
+
+    Parameters
+    ----------
+    name:
+        Query name (``J_1`` ... in the paper); must be unique within a union.
+    relations:
+        The base relations, in declaration order.  The first relation is the
+        default root for join trees, matching the paper's convention for chain
+        joins (``R_{j,1}`` is the sampling root).
+    conditions:
+        Equi-join conditions referencing the relations by name.  Self-joins are
+        expressed by registering the same underlying data twice under two
+        aliases (the paper's ``Orders1_W`` / ``Orders2_W``).
+    output_attributes:
+        Mapping of the standardized output schema onto source
+        ``(relation, attribute)`` pairs.  Join results are identified by their
+        projection onto these attributes (``t.val`` in the paper).
+    predicates:
+        Optional per-relation selection predicates.  By default they are pushed
+        down (the relation is filtered up front, §8.3 first alternative).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        relations: Sequence[Relation],
+        conditions: Sequence[JoinCondition],
+        output_attributes: Sequence[OutputAttribute],
+        predicates: Optional[Mapping[str, Predicate]] = None,
+        push_down_predicates: bool = True,
+    ) -> None:
+        if not name:
+            raise ValueError("join query name must be non-empty")
+        if not relations:
+            raise ValueError("a join query needs at least one relation")
+        names = [r.name for r in relations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate relation names in query {name!r}: {names}")
+        self.name = name
+        self.predicates: Dict[str, Predicate] = dict(predicates or {})
+        self.push_down_predicates = push_down_predicates
+
+        if push_down_predicates and self.predicates:
+            relations = [
+                rel.select(self.predicates[rel.name], name=rel.name)
+                if rel.name in self.predicates
+                else rel
+                for rel in relations
+            ]
+        self._relations: Dict[str, Relation] = {r.name: r for r in relations}
+        self.relation_order: Tuple[str, ...] = tuple(r.name for r in relations)
+
+        self.conditions: Tuple[JoinCondition, ...] = tuple(conditions)
+        for cond in self.conditions:
+            for rel_name in cond.relations():
+                if rel_name not in self._relations:
+                    raise ValueError(
+                        f"condition {cond} references unknown relation {rel_name!r}"
+                    )
+            left = self._relations[cond.left_relation]
+            right = self._relations[cond.right_relation]
+            if cond.left_attribute not in left.schema:
+                raise ValueError(f"{cond}: {cond.left_attribute!r} not in {left.name!r}")
+            if cond.right_attribute not in right.schema:
+                raise ValueError(f"{cond}: {cond.right_attribute!r} not in {right.name!r}")
+
+        self.output_attributes: Tuple[OutputAttribute, ...] = tuple(output_attributes)
+        if not self.output_attributes:
+            raise ValueError(f"query {name!r} declares no output attributes")
+        out_names = [a.name for a in self.output_attributes]
+        if len(set(out_names)) != len(out_names):
+            raise ValueError(f"duplicate output attribute names in query {name!r}")
+        for out in self.output_attributes:
+            if out.relation not in self._relations:
+                raise ValueError(
+                    f"output attribute {out} references unknown relation {out.relation!r}"
+                )
+            if out.attribute not in self._relations[out.relation].schema:
+                raise ValueError(
+                    f"output attribute {out}: {out.attribute!r} not in {out.relation!r}"
+                )
+
+        if len(self._relations) > 1 and not self.conditions:
+            raise ValueError(f"query {name!r} has multiple relations but no join conditions")
+
+        self._join_type: Optional[JoinType] = None
+
+    # ------------------------------------------------------------------ access
+    @property
+    def relations(self) -> Dict[str, Relation]:
+        """Name -> relation map (after predicate push-down, if enabled)."""
+        return self._relations
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"query {self.name!r} has no relation {name!r}") from None
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return self.relation_order
+
+    @property
+    def root_relation(self) -> str:
+        """Default sampling root (the first declared relation)."""
+        return self.relation_order[0]
+
+    @property
+    def output_schema(self) -> Tuple[str, ...]:
+        """Names of the standardized output attributes, in order."""
+        return tuple(a.name for a in self.output_attributes)
+
+    def output_sources(self) -> Dict[str, Tuple[str, str]]:
+        """Output name -> (relation, attribute) source map."""
+        return {a.name: (a.relation, a.attribute) for a in self.output_attributes}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JoinQuery({self.name!r}, relations={list(self.relation_order)}, "
+            f"type={self.join_type.value})"
+        )
+
+    # -------------------------------------------------------------- structure
+    def adjacency(self) -> Dict[str, Dict[str, List[JoinCondition]]]:
+        """Adjacency map of the join graph: rel -> neighbour -> conditions."""
+        adj: Dict[str, Dict[str, List[JoinCondition]]] = {
+            name: {} for name in self.relation_order
+        }
+        for cond in self.conditions:
+            a, b = cond.relations()
+            adj[a].setdefault(b, []).append(cond)
+            adj[b].setdefault(a, []).append(cond.reversed())
+        return adj
+
+    @property
+    def join_type(self) -> JoinType:
+        """Chain / acyclic / cyclic classification of the join graph.
+
+        * *chain*: the graph (collapsing parallel conditions) is a simple path;
+        * *acyclic*: the graph is a tree (or forest collapsed to one component);
+        * *cyclic*: the graph has at least one cycle.
+        """
+        if self._join_type is None:
+            self._join_type = self._classify()
+        return self._join_type
+
+    def _classify(self) -> JoinType:
+        names = list(self.relation_order)
+        if len(names) == 1:
+            return JoinType.CHAIN
+        adj = self.adjacency()
+        # Connectivity check (a disconnected join would be a cross product).
+        seen = {names[0]}
+        stack = [names[0]]
+        while stack:
+            node = stack.pop()
+            for neighbour in adj[node]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        if len(seen) != len(names):
+            raise ValueError(
+                f"query {self.name!r} is disconnected (cross products are not supported)"
+            )
+        edge_count = len({frozenset(c.relations()) for c in self.conditions})
+        if edge_count > len(names) - 1:
+            return JoinType.CYCLIC
+        degrees = {name: len(adj[name]) for name in names}
+        # A chain join is a path graph declared in chain order: the first
+        # relation must be an endpoint so that the default join tree (rooted at
+        # the first relation) is itself a path.
+        if all(d <= 2 for d in degrees.values()) and degrees[names[0]] <= 1:
+            return JoinType.CHAIN
+        return JoinType.ACYCLIC
+
+    @property
+    def is_chain(self) -> bool:
+        return self.join_type is JoinType.CHAIN
+
+    @property
+    def is_cyclic(self) -> bool:
+        return self.join_type is JoinType.CYCLIC
+
+    # -------------------------------------------------------------- tuple ops
+    def project_assignment(self, assignment: Mapping[str, int]) -> Tuple:
+        """Output value (``t.val``) of a complete row assignment.
+
+        ``assignment`` maps relation name -> row position in that relation.
+        """
+        values = []
+        for out in self.output_attributes:
+            rel = self._relations[out.relation]
+            values.append(rel.value(assignment[out.relation], out.attribute))
+        return tuple(values)
+
+    def aligns_with(self, other: "JoinQuery") -> bool:
+        """True when both queries produce the same standardized output schema."""
+        return self.output_schema == other.output_schema
+
+
+def check_union_compatible(queries: Sequence[JoinQuery]) -> None:
+    """Raise ``ValueError`` unless all queries share the same output schema
+    and have distinct names (requirement of Definition 1/2 in the paper)."""
+    if not queries:
+        raise ValueError("a union needs at least one join query")
+    names = [q.name for q in queries]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate join query names: {names}")
+    base = queries[0]
+    for q in queries[1:]:
+        if not base.aligns_with(q):
+            raise ValueError(
+                "join queries are not union-compatible: "
+                f"{base.name}:{base.output_schema} vs {q.name}:{q.output_schema}"
+            )
+
+
+__all__ = ["JoinQuery", "JoinType", "check_union_compatible"]

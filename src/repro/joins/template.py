@@ -1,0 +1,210 @@
+"""Standard templates for overlap estimation over heterogeneous joins (§8.1).
+
+When the joins of a union do not consist of positionally corresponding
+relations (different lengths, different schemas — e.g. the UQ3 workload), the
+histogram-based overlap estimator first rewrites every join into a *base
+chain* of two-attribute relations, all following one shared ordering of the
+output attributes called the **standard template**.
+
+A good template keeps attributes that co-occur in the original relations next
+to each other, because such pairs can be materialized without estimating a
+sub-join ("fake joins" preserve the most information, §8.1.2).  The paper
+formalizes this with the *pairwise attribute score*
+
+    score(A, A') = Σ_j Dist_j(A, A')
+
+where ``Dist_j`` is the number of joins needed to bring ``A`` and ``A'``
+together in join ``J_j`` (0 when they live in the same relation), and searches
+for the attribute ordering whose consecutive pairs minimize the total score.
+This module computes the scores and performs the search (exact Held–Karp
+dynamic programming for small attribute sets, greedy nearest-neighbour
+otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.joins.query import JoinQuery
+
+#: Attribute count up to which the exact DP ordering search is used.
+_EXACT_SEARCH_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class Template:
+    """An ordering of the standardized output attributes.
+
+    The induced base chain is ``(A_1, A_2) ⋈ (A_2, A_3) ⋈ ... ⋈ (A_{m-1}, A_m)``.
+    """
+
+    attributes: Tuple[str, ...]
+    score: float
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """Consecutive attribute pairs — the two-attribute split relations."""
+        return list(zip(self.attributes, self.attributes[1:]))
+
+
+def relation_distances(query: JoinQuery) -> Dict[str, Dict[str, int]]:
+    """All-pairs shortest-path distances (in number of joins) between relations."""
+    adjacency = query.adjacency()
+    distances: Dict[str, Dict[str, int]] = {}
+    for source in query.relation_names:
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for neighbour in adjacency[node]:
+                    if neighbour not in dist:
+                        dist[neighbour] = dist[node] + 1
+                        nxt.append(neighbour)
+            frontier = nxt
+        distances[source] = dist
+    return distances
+
+
+def attribute_distance(query: JoinQuery, first: str, second: str) -> int:
+    """``Dist_j(A, A')``: joins needed to co-locate two output attributes in ``query``."""
+    sources = query.output_sources()
+    if first not in sources or second not in sources:
+        raise KeyError(f"query {query.name!r} does not produce both {first!r} and {second!r}")
+    rel_a = sources[first][0]
+    rel_b = sources[second][0]
+    if rel_a == rel_b:
+        return 0
+    return relation_distances(query)[rel_a][rel_b]
+
+
+def pairwise_scores(
+    queries: Sequence[JoinQuery],
+    zero_distance_weight: float = 0.0,
+) -> Dict[Tuple[str, str], float]:
+    """Score every unordered pair of output attributes across all joins.
+
+    ``zero_distance_weight`` is the paper's *alternating score* hyper-parameter
+    (§8.1.2): the value credited to a pair whose attributes already live in the
+    same relation of a join.  The default 0.0 gives such pairs the highest
+    priority; small positive values soften that preference.
+    """
+    if not queries:
+        raise ValueError("at least one query is required")
+    attributes = queries[0].output_schema
+    for query in queries[1:]:
+        if query.output_schema != attributes:
+            raise ValueError("all queries must share the same output schema")
+    # Cache the per-query distance maps once.
+    per_query_distances = []
+    for query in queries:
+        sources = query.output_sources()
+        distances = relation_distances(query)
+        per_query_distances.append((sources, distances))
+
+    scores: Dict[Tuple[str, str], float] = {}
+    for first, second in itertools.combinations(attributes, 2):
+        total = 0.0
+        for sources, distances in per_query_distances:
+            rel_a = sources[first][0]
+            rel_b = sources[second][0]
+            d = 0 if rel_a == rel_b else distances[rel_a][rel_b]
+            total += zero_distance_weight if d == 0 else float(d)
+        scores[(first, second)] = total
+        scores[(second, first)] = total
+    return scores
+
+
+def find_standard_template(
+    queries: Sequence[JoinQuery],
+    zero_distance_weight: float = 0.0,
+    attributes: Optional[Sequence[str]] = None,
+) -> Template:
+    """Find the attribute ordering with minimum total consecutive-pair score.
+
+    Uses exact Held–Karp dynamic programming for up to
+    ``_EXACT_SEARCH_LIMIT`` attributes and a greedy nearest-neighbour
+    construction (best of all start attributes) beyond that.
+    """
+    attrs = tuple(attributes) if attributes is not None else queries[0].output_schema
+    if len(attrs) < 2:
+        return Template(attrs, 0.0)
+    scores = pairwise_scores(queries, zero_distance_weight)
+
+    def score(a: str, b: str) -> float:
+        return scores[(a, b)]
+
+    if len(attrs) <= _EXACT_SEARCH_LIMIT:
+        order, total = _exact_min_path(attrs, score)
+    else:
+        order, total = _greedy_min_path(attrs, score)
+    return Template(tuple(order), total)
+
+
+def _exact_min_path(attrs: Sequence[str], score) -> Tuple[List[str], float]:
+    """Held–Karp DP for the minimum-cost Hamiltonian path over ``attrs``."""
+    n = len(attrs)
+    full = (1 << n) - 1
+    # dp[(mask, last)] = (cost, predecessor_last)
+    dp: Dict[Tuple[int, int], Tuple[float, Optional[int]]] = {}
+    for i in range(n):
+        dp[(1 << i, i)] = (0.0, None)
+    for mask in range(1, full + 1):
+        for last in range(n):
+            if not mask & (1 << last) or (mask, last) not in dp:
+                continue
+            cost, _ = dp[(mask, last)]
+            for nxt in range(n):
+                if mask & (1 << nxt):
+                    continue
+                new_mask = mask | (1 << nxt)
+                new_cost = cost + score(attrs[last], attrs[nxt])
+                key = (new_mask, nxt)
+                if key not in dp or new_cost < dp[key][0]:
+                    dp[key] = (new_cost, last)
+    best_last, best_cost = None, float("inf")
+    for last in range(n):
+        cost, _ = dp[(full, last)]
+        if cost < best_cost:
+            best_cost, best_last = cost, last
+    # Reconstruct the ordering.
+    order_idx: List[int] = []
+    mask, last = full, best_last
+    while last is not None:
+        order_idx.append(last)
+        _, prev = dp[(mask, last)]
+        mask &= ~(1 << last)
+        last = prev
+    order_idx.reverse()
+    return [attrs[i] for i in order_idx], best_cost
+
+
+def _greedy_min_path(attrs: Sequence[str], score) -> Tuple[List[str], float]:
+    """Greedy nearest-neighbour ordering, best over all start attributes."""
+    best_order, best_cost = list(attrs), float("inf")
+    for start in attrs:
+        remaining = [a for a in attrs if a != start]
+        order = [start]
+        cost = 0.0
+        while remaining:
+            current = order[-1]
+            nxt = min(remaining, key=lambda a: score(current, a))
+            cost += score(current, nxt)
+            order.append(nxt)
+            remaining.remove(nxt)
+        if cost < best_cost:
+            best_order, best_cost = order, cost
+    return best_order, best_cost
+
+
+__all__ = [
+    "Template",
+    "relation_distances",
+    "attribute_distance",
+    "pairwise_scores",
+    "find_standard_template",
+]

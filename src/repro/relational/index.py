@@ -1,0 +1,79 @@
+"""Hash indexes over relation columns.
+
+The paper replaces the B-tree indexes assumed by Zhao et al. with hash tables
+that record, for every join-attribute value, the positions of the rows holding
+that value ("we use hash tables for relations to maintain tuples' joinability
+information", §3.2).  :class:`HashIndex` is exactly that structure; it backs
+
+* joinability lookups during join sampling and random walks,
+* degree lookups (`d_A(v, R)`) during weight computation,
+* membership probes of the random-walk overlap estimator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+
+class HashIndex:
+    """Value -> row-position index for one attribute of a relation."""
+
+    __slots__ = ("attribute", "_buckets", "_max_degree")
+
+    def __init__(self, attribute: str, buckets: Dict[object, List[int]]) -> None:
+        self.attribute = attribute
+        self._buckets = buckets
+        self._max_degree = max((len(v) for v in buckets.values()), default=0)
+
+    @classmethod
+    def build(cls, values: Iterable[object], attribute: str = "") -> "HashIndex":
+        """Build an index from the column's values in row order."""
+        buckets: Dict[object, List[int]] = defaultdict(list)
+        for position, value in enumerate(values):
+            buckets[value].append(position)
+        return cls(attribute, dict(buckets))
+
+    # ----------------------------------------------------------------- lookups
+    def positions(self, value: object) -> List[int]:
+        """Row positions whose attribute equals ``value`` (empty list if none)."""
+        return self._buckets.get(value, [])
+
+    def degree(self, value: object) -> int:
+        """Number of rows whose attribute equals ``value``."""
+        return len(self._buckets.get(value, ()))
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._buckets
+
+    def __len__(self) -> int:
+        """Number of distinct values."""
+        return len(self._buckets)
+
+    def values(self) -> Iterator[object]:
+        """Iterate over the distinct indexed values."""
+        return iter(self._buckets)
+
+    def items(self) -> Iterator[Tuple[object, List[int]]]:
+        """Iterate over ``(value, positions)`` pairs."""
+        return iter(self._buckets.items())
+
+    # -------------------------------------------------------------- statistics
+    @property
+    def max_degree(self) -> int:
+        """Maximum number of rows sharing one value (``M_A(R)``)."""
+        return self._max_degree
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of indexed rows."""
+        return sum(len(v) for v in self._buckets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HashIndex(attribute={self.attribute!r}, distinct={len(self)}, "
+            f"max_degree={self.max_degree})"
+        )
+
+
+__all__ = ["HashIndex"]

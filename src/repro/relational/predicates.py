@@ -1,0 +1,191 @@
+"""Selection predicates.
+
+Paper §8.3 supports selection predicates either by pushing them down into
+base relations before sampling, or by checking them during sampling with an
+extra rejection factor.  Both paths need a small predicate algebra, which this
+module provides: comparisons, membership, range, conjunction, disjunction and
+negation, all evaluated against a row + schema pair.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Tuple
+
+from repro.relational.schema import Schema
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate(ABC):
+    """Base class for all selection predicates."""
+
+    @abstractmethod
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        """Whether ``row`` (interpreted under ``schema``) satisfies the predicate."""
+
+    @abstractmethod
+    def attributes(self) -> Tuple[str, ...]:
+        """Attribute names referenced by this predicate."""
+
+    # Allow composing predicates with ``&``, ``|`` and ``~``.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or([self, other])
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __call__(self, row: Sequence, schema: Schema) -> bool:
+        return self.evaluate(row, schema)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Predicate that accepts every row (neutral element for conjunction)."""
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return True
+
+    def attributes(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``attribute <op> constant`` with ``op`` in ==, !=, <, <=, >, >=."""
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return _COMPARATORS[self.op](row[schema.position(self.attribute)], self.value)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+
+@dataclass(frozen=True)
+class InSet(Predicate):
+    """``attribute IN (v1, v2, ...)``."""
+
+    attribute: str
+    values: frozenset
+
+    def __init__(self, attribute: str, values: Iterable[object]) -> None:
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return row[schema.position(self.attribute)] in self.values
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= attribute <= high`` (inclusive range)."""
+
+    attribute: str
+    low: object
+    high: object
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        value = row[schema.position(self.attribute)]
+        return self.low <= value <= self.high
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+
+class And(Predicate):
+    """Conjunction of predicates (true when all children are true)."""
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        self.children = tuple(children)
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return all(child.evaluate(row, schema) for child in self.children)
+
+    def attributes(self) -> Tuple[str, ...]:
+        names: list[str] = []
+        for child in self.children:
+            names.extend(child.attributes())
+        return tuple(dict.fromkeys(names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"And({list(self.children)!r})"
+
+
+class Or(Predicate):
+    """Disjunction of predicates (true when any child is true)."""
+
+    def __init__(self, children: Iterable[Predicate]) -> None:
+        self.children = tuple(children)
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return any(child.evaluate(row, schema) for child in self.children)
+
+    def attributes(self) -> Tuple[str, ...]:
+        names: list[str] = []
+        for child in self.children:
+            names.extend(child.attributes())
+        return tuple(dict.fromkeys(names))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Or({list(self.children)!r})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    child: Predicate
+
+    def evaluate(self, row: Sequence, schema: Schema) -> bool:
+        return not self.child.evaluate(row, schema)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.child.attributes()
+
+
+def selectivity(predicate: Predicate, relation) -> float:
+    """Fraction of rows of ``relation`` that satisfy ``predicate``.
+
+    Used by the enforce-during-sampling strategy of §8.3 to reason about the
+    extra rejection factor a predicate introduces.
+    """
+    if len(relation) == 0:
+        return 0.0
+    satisfied = sum(1 for row in relation if predicate.evaluate(row, relation.schema))
+    return satisfied / len(relation)
+
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "Comparison",
+    "InSet",
+    "Between",
+    "And",
+    "Or",
+    "Not",
+    "selectivity",
+]

@@ -1,0 +1,248 @@
+"""In-memory relations.
+
+A :class:`Relation` is a named, schema-typed bag of rows stored as Python
+tuples.  It provides column access, hash indexes on demand (see
+:mod:`repro.relational.index`), and cached per-column statistics (see
+:mod:`repro.relational.statistics`) — the three capabilities every algorithm
+in the paper relies on:
+
+* the join samplers walk hash indexes (`joinable tuples` lookups),
+* the histogram-based overlap estimator reads degree statistics,
+* the ground-truth executor scans rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.relational.index import HashIndex
+from repro.relational.schema import Attribute, Schema
+from repro.relational.statistics import ColumnStatistics
+
+Row = Tuple
+
+
+class Relation:
+    """A named in-memory relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name (unique within a :class:`~repro.joins.query.JoinQuery`).
+    schema:
+        The relation's :class:`Schema`, or a sequence of attribute names.
+    rows:
+        Iterable of row tuples; each row must have ``len(schema)`` fields.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | Sequence[Attribute | str],
+        rows: Iterable[Sequence] = (),
+    ) -> None:
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        self.name = name
+        self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._rows: list[Row] = []
+        self._indexes: Dict[str, HashIndex] = {}
+        self._statistics: Dict[str, ColumnStatistics] = {}
+        width = len(self.schema)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row {tup!r} has {len(tup)} fields, schema expects {width}"
+                )
+            self._rows.append(tup)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        schema: Schema | Sequence[Attribute | str],
+        records: Iterable[Mapping[str, object]],
+    ) -> "Relation":
+        """Build a relation from dict-shaped records."""
+        schema_obj = schema if isinstance(schema, Schema) else Schema(schema)
+        rows = [tuple(rec[a] for a in schema_obj.names) for rec in records]
+        return cls(name, schema_obj, rows)
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Mapping[str, Sequence],
+        dtypes: Optional[Mapping[str, str]] = None,
+    ) -> "Relation":
+        """Build a relation from a mapping of column name -> values."""
+        names = list(columns)
+        if not names:
+            raise ValueError("at least one column is required")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"columns have unequal lengths: {sorted(lengths)}")
+        dtypes = dtypes or {}
+        schema = Schema([Attribute(n, dtypes.get(n, "int")) for n in names])
+        rows = list(zip(*(columns[n] for n in names))) if lengths != {0} else []
+        return cls(name, schema, rows)
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def rows(self) -> Sequence[Row]:
+        return self._rows
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name!r}, |R|={len(self)}, attrs={list(self.schema.names)})"
+
+    def row(self, index: int) -> Row:
+        """Row at position ``index``."""
+        return self._rows[index]
+
+    def column(self, name: str) -> list:
+        """All values of attribute ``name`` (in row order, duplicates kept)."""
+        pos = self.schema.position(name)
+        return [r[pos] for r in self._rows]
+
+    def value(self, index: int, attribute: str) -> object:
+        """Value of ``attribute`` in the row at ``index``."""
+        return self._rows[index][self.schema.position(attribute)]
+
+    def project_row(self, index: int, attributes: Sequence[str]) -> Row:
+        """Projection of one row onto ``attributes``."""
+        positions = self.schema.positions(attributes)
+        row = self._rows[index]
+        return tuple(row[p] for p in positions)
+
+    # ------------------------------------------------------------- mutations
+    def append(self, row: Sequence) -> None:
+        """Append a row.  Invalidates indexes and statistics."""
+        tup = tuple(row)
+        if len(tup) != len(self.schema):
+            raise ValueError(
+                f"row {tup!r} has {len(tup)} fields, schema expects {len(self.schema)}"
+            )
+        self._rows.append(tup)
+        self._indexes.clear()
+        self._statistics.clear()
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -------------------------------------------------- indexes & statistics
+    def index_on(self, attribute: str) -> HashIndex:
+        """Hash index on ``attribute``, built lazily and cached."""
+        if attribute not in self._indexes:
+            pos = self.schema.position(attribute)
+            self._indexes[attribute] = HashIndex.build(
+                (row[pos] for row in self._rows), attribute
+            )
+        return self._indexes[attribute]
+
+    def statistics_on(self, attribute: str) -> ColumnStatistics:
+        """Column statistics (histogram, max/avg degree) for ``attribute``."""
+        if attribute not in self._statistics:
+            pos = self.schema.position(attribute)
+            self._statistics[attribute] = ColumnStatistics.from_values(
+                attribute, (row[pos] for row in self._rows)
+            )
+        return self._statistics[attribute]
+
+    def index_on_columns(self, attributes: Sequence[str]) -> HashIndex:
+        """Hash index keyed by the tuple of values of several attributes.
+
+        Used for composite (multi-attribute) equi-join conditions.  For a
+        single attribute this delegates to :meth:`index_on` so that single and
+        composite keys share one cache entry per attribute set.
+        """
+        attrs = tuple(attributes)
+        if len(attrs) == 1:
+            return self.index_on(attrs[0])
+        cache_key = "\x00".join(attrs)
+        if cache_key not in self._indexes:
+            positions = self.schema.positions(attrs)
+            self._indexes[cache_key] = HashIndex.build(
+                (tuple(row[p] for p in positions) for row in self._rows), cache_key
+            )
+        return self._indexes[cache_key]
+
+    def statistics_on_columns(self, attributes: Sequence[str]) -> ColumnStatistics:
+        """Column statistics over the composite key formed by ``attributes``."""
+        attrs = tuple(attributes)
+        if len(attrs) == 1:
+            return self.statistics_on(attrs[0])
+        cache_key = "\x00".join(attrs)
+        if cache_key not in self._statistics:
+            positions = self.schema.positions(attrs)
+            self._statistics[cache_key] = ColumnStatistics.from_values(
+                cache_key,
+                (tuple(row[p] for p in positions) for row in self._rows),
+            )
+        return self._statistics[cache_key]
+
+    def max_degree(self, attribute: str) -> int:
+        """Maximum value frequency in ``attribute`` (``M_A(R)`` in the paper)."""
+        return self.statistics_on(attribute).max_degree
+
+    def degree(self, attribute: str, value: object) -> int:
+        """Frequency of ``value`` in ``attribute`` (``d_A(v, R)`` in the paper)."""
+        return self.statistics_on(attribute).degree(value)
+
+    # ------------------------------------------------------------ derivations
+    def project(self, attributes: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """New relation projected onto ``attributes`` (duplicates preserved)."""
+        positions = self.schema.positions(attributes)
+        rows = [tuple(r[p] for p in positions) for r in self._rows]
+        return Relation(name or f"{self.name}_proj", self.schema.project(attributes), rows)
+
+    def select(self, predicate, name: Optional[str] = None) -> "Relation":
+        """New relation containing rows satisfying ``predicate``.
+
+        ``predicate`` is either a callable taking ``(row, schema)`` or an
+        object with an ``evaluate(row, schema)`` method (see
+        :mod:`repro.relational.predicates`).
+        """
+        evaluate = getattr(predicate, "evaluate", None)
+        if evaluate is None:
+            evaluate = predicate
+        rows = [r for r in self._rows if evaluate(r, self.schema)]
+        return Relation(name or f"{self.name}_sel", self.schema, rows)
+
+    def rename(self, mapping: Mapping[str, str], name: Optional[str] = None) -> "Relation":
+        """New relation with attributes renamed according to ``mapping``."""
+        return Relation(name or self.name, self.schema.rename(dict(mapping)), self._rows)
+
+    def sample_row(self, rng) -> Row:
+        """A uniformly random row (the relation must be non-empty)."""
+        if not self._rows:
+            raise ValueError(f"relation {self.name!r} is empty")
+        return self._rows[int(rng.integers(0, len(self._rows)))]
+
+    def distinct(self, name: Optional[str] = None) -> "Relation":
+        """New relation with duplicate rows removed (first occurrence kept)."""
+        seen: set[Row] = set()
+        rows = []
+        for r in self._rows:
+            if r not in seen:
+                seen.add(r)
+                rows.append(r)
+        return Relation(name or f"{self.name}_distinct", self.schema, rows)
+
+
+__all__ = ["Relation", "Row"]

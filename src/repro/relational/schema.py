@@ -1,0 +1,140 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered collection of named, typed attributes.  The
+union-sampling framework assumes all joins in a union produce results with the
+same output schema (after attribute standardization); :meth:`Schema.aligns_with`
+implements that check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+#: Logical attribute types supported by the in-memory engine.  Types are
+#: advisory: they drive the synthetic data generator and validation, while the
+#: physical representation is plain Python objects.
+ATTRIBUTE_TYPES = ("int", "float", "str", "date", "bool")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation.
+
+    Attributes
+    ----------
+    name:
+        Attribute name.  Join attributes are assumed to be standardized to the
+        same name across relations (paper §2).
+    dtype:
+        One of :data:`ATTRIBUTE_TYPES`.
+    """
+
+    name: str
+    dtype: str = "int"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if self.dtype not in ATTRIBUTE_TYPES:
+            raise ValueError(
+                f"unknown dtype {self.dtype!r}; expected one of {ATTRIBUTE_TYPES}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.dtype}"
+
+
+class Schema:
+    """An ordered, duplicate-free list of :class:`Attribute` objects."""
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Iterable[Attribute | str]) -> None:
+        attrs: list[Attribute] = []
+        for a in attributes:
+            if isinstance(a, str):
+                attrs.append(Attribute(a))
+            elif isinstance(a, Attribute):
+                attrs.append(a)
+            else:
+                raise TypeError(f"expected Attribute or str, got {type(a).__name__}")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names in schema: {dupes}")
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._positions = {a.name: i for i, a in enumerate(self._attributes)}
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"Schema({inner})"
+
+    # ----------------------------------------------------------------- lookups
+    def position(self, name: str) -> int:
+        """Index of attribute ``name`` within a row tuple."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise KeyError(f"attribute {name!r} not in schema {self.names}") from None
+
+    def attribute(self, name: str) -> Attribute:
+        return self._attributes[self.position(name)]
+
+    def positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Indices of several attributes, in the requested order."""
+        return tuple(self.position(n) for n in names)
+
+    # ------------------------------------------------------------- derivations
+    def project(self, names: Sequence[str]) -> "Schema":
+        """New schema containing only ``names``, in the requested order."""
+        return Schema([self.attribute(n) for n in names])
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """New schema with attributes renamed according to ``mapping``."""
+        return Schema(
+            [Attribute(mapping.get(a.name, a.name), a.dtype) for a in self._attributes]
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two schemas; attribute names must stay unique."""
+        return Schema(list(self._attributes) + list(other._attributes))
+
+    def aligns_with(self, other: "Schema") -> bool:
+        """True when both schemas have the same attribute names in the same order.
+
+        This is the compatibility requirement for unioning join results
+        (paper §2): joins may have different lengths and base relations, but
+        the output schemas must match.
+        """
+        return self.names == other.names
+
+
+__all__ = ["Attribute", "Schema", "ATTRIBUTE_TYPES"]

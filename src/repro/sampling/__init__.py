@@ -1,0 +1,35 @@
+"""Single-join sampling substrate: weights, accept/reject sampling, wander join."""
+
+from repro.sampling.join_sampler import JoinSampler, JoinSamplerStats, SampleDraw
+from repro.sampling.olken import node_max_degree, olken_refined_bound, olken_upper_bound
+from repro.sampling.wander_join import (
+    RunningEstimator,
+    SizeEstimate,
+    WalkResult,
+    WanderJoin,
+    z_value,
+)
+from repro.sampling.weights import (
+    ExactWeightFunction,
+    ExtendedOlkenWeightFunction,
+    WeightFunction,
+    make_weight_function,
+)
+
+__all__ = [
+    "JoinSampler",
+    "JoinSamplerStats",
+    "SampleDraw",
+    "olken_upper_bound",
+    "olken_refined_bound",
+    "node_max_degree",
+    "WanderJoin",
+    "WalkResult",
+    "SizeEstimate",
+    "RunningEstimator",
+    "z_value",
+    "WeightFunction",
+    "ExactWeightFunction",
+    "ExtendedOlkenWeightFunction",
+    "make_weight_function",
+]

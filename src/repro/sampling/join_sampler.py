@@ -1,0 +1,239 @@
+"""Uniform, independent sampling from a single join (Zhao et al., revisited).
+
+:class:`JoinSampler` draws i.i.d. uniform samples from the result of one join
+query without materializing it, by walking the join tree root-to-leaves:
+
+1. pick a root row with probability proportional to its weight;
+2. at every child relation, look up the joinable rows via the hash index,
+   accept the descent with probability ``realized weight / bound`` (always 1
+   for exact weights), and pick one joinable row proportionally to its weight;
+3. for cyclic joins, verify the residual (cycle-breaking) conditions on the
+   assembled assignment;
+4. optionally verify selection predicates that were not pushed down (§8.3).
+
+Every accepted result has probability ``1 / W`` where ``W`` is the weight
+function's total weight, hence results are uniform over the join; acceptance
+probability is ``|J| / W``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
+from repro.joins.query import JoinQuery
+from repro.sampling.weights import (
+    ExactWeightFunction,
+    WeightFunction,
+    make_weight_function,
+)
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class SampleDraw:
+    """One accepted sample from a join.
+
+    Attributes
+    ----------
+    value:
+        The output value (``t.val``): projection onto the output attributes.
+    assignment:
+        Relation name -> row position of the underlying join result.
+    attempts:
+        Number of root-to-leaf walks needed to produce this accepted sample.
+    """
+
+    value: Tuple
+    assignment: Dict[str, int]
+    attempts: int = 1
+
+
+@dataclass
+class JoinSamplerStats:
+    """Cumulative accept/reject counters of a :class:`JoinSampler`."""
+
+    attempts: int = 0
+    accepted: int = 0
+    rejected_weight: int = 0
+    rejected_empty: int = 0
+    rejected_residual: int = 0
+    rejected_predicate: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return self.accepted / self.attempts
+
+
+class JoinSampler:
+    """Accept/reject uniform sampler over one join query.
+
+    Parameters
+    ----------
+    query:
+        The join to sample from.
+    weights:
+        ``"ew"`` (exact weights), ``"eo"`` (extended Olken), or a prebuilt
+        :class:`~repro.sampling.weights.WeightFunction`.
+    seed:
+        Seed or generator for reproducible draws.
+    enforce_predicates:
+        When True and the query carries predicates that were *not* pushed
+        down, each assembled result is additionally checked against them and
+        rejected on failure (§8.3 second alternative).
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        weights: str | WeightFunction = "ew",
+        seed: RandomState = None,
+        tree: Optional[JoinTree] = None,
+        enforce_predicates: bool = True,
+    ) -> None:
+        self.query = query
+        self.tree = tree or build_join_tree(query)
+        if isinstance(weights, WeightFunction):
+            self.weight_function = weights
+        else:
+            self.weight_function = make_weight_function(weights, query, self.tree)
+        self.rng = ensure_rng(seed)
+        self.enforce_predicates = enforce_predicates
+        self.stats = JoinSamplerStats()
+        self._root_weights = np.asarray(self.weight_function.root_weights(), dtype=float)
+        self._root_total = float(self._root_weights.sum())
+        self._root_cumulative = (
+            np.cumsum(self._root_weights) if self._root_total > 0 else None
+        )
+        #: pre-order node list (root first) for the descent
+        self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
+        self._collect(self.tree.root, None)
+
+    def _collect(self, node: JoinTreeNode, parent: Optional[JoinTreeNode]) -> None:
+        self._order.append((node, parent))
+        for child in node.children:
+            self._collect(child, node)
+
+    # ----------------------------------------------------------------- public
+    @property
+    def size_bound(self) -> float:
+        """The weight function's total weight (upper bound on the join size)."""
+        return self.weight_function.total_weight
+
+    def exact_size(self) -> Optional[float]:
+        """Exact (skeleton) join size when exact weights are in use, else None."""
+        if isinstance(self.weight_function, ExactWeightFunction):
+            return self.weight_function.total_weight
+        return None
+
+    def try_sample(self) -> Optional[SampleDraw]:
+        """One root-to-leaf attempt; ``None`` when the walk is rejected."""
+        self.stats.attempts += 1
+        if self._root_total <= 0:
+            self.stats.rejected_empty += 1
+            return None
+        assignment: Dict[str, int] = {}
+        root = self.tree.root
+        root_pos = self._weighted_root_choice()
+        if root_pos is None:
+            self.stats.rejected_empty += 1
+            return None
+        assignment[root.relation] = root_pos
+
+        for node, parent in self._order:
+            if parent is None:
+                continue
+            parent_rel = self.query.relation(parent.relation)
+            child_rel = self.query.relation(node.relation)
+            parent_row = parent_rel.row(assignment[parent.relation])
+            key = tuple(
+                parent_row[parent_rel.schema.position(a)] for a in node.parent_attributes
+            )
+            lookup = key if len(key) > 1 else key[0]
+            index = child_rel.index_on_columns(node.child_attributes)
+            joinable = index.positions(lookup)
+            if not joinable:
+                self.stats.rejected_empty += 1
+                return None
+            weights = np.asarray(
+                [self.weight_function.weight(node, p) for p in joinable], dtype=float
+            )
+            realized = float(weights.sum())
+            if realized <= 0:
+                self.stats.rejected_empty += 1
+                return None
+            bound = self.weight_function.acceptance_bound(node)
+            if bound is not None and bound > 0:
+                if self.rng.random() >= realized / bound:
+                    self.stats.rejected_weight += 1
+                    return None
+            chosen = int(self.rng.choice(len(joinable), p=weights / realized))
+            assignment[node.relation] = joinable[chosen]
+
+        if not self.tree.residual_satisfied(assignment):
+            self.stats.rejected_residual += 1
+            return None
+        if self.enforce_predicates and not self._predicates_satisfied(assignment):
+            self.stats.rejected_predicate += 1
+            return None
+
+        self.stats.accepted += 1
+        return SampleDraw(
+            value=self.query.project_assignment(assignment),
+            assignment=dict(assignment),
+            attempts=1,
+        )
+
+    def sample(self, max_attempts: int = 1_000_000) -> SampleDraw:
+        """One accepted sample (retries rejected walks internally)."""
+        for attempt in range(1, max_attempts + 1):
+            draw = self.try_sample()
+            if draw is not None:
+                draw.attempts = attempt
+                return draw
+        raise RuntimeError(
+            f"JoinSampler on {self.query.name!r} failed to accept a sample "
+            f"after {max_attempts} attempts (bound too loose or empty join)"
+        )
+
+    def sample_many(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
+        """``count`` independent accepted samples."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.sample(max_attempts=max_attempts) for _ in range(count)]
+
+    # --------------------------------------------------------------- internals
+    def _weighted_root_choice(self) -> Optional[int]:
+        if self._root_cumulative is None:
+            return None
+        target = self.rng.random() * self._root_total
+        pos = int(np.searchsorted(self._root_cumulative, target, side="right"))
+        if pos >= len(self._root_weights):
+            pos = len(self._root_weights) - 1
+        if self._root_weights[pos] <= 0:
+            # Landed on a zero-weight row due to floating point edge effects;
+            # fall back to an explicit renormalized choice.
+            positive = np.flatnonzero(self._root_weights > 0)
+            if positive.size == 0:
+                return None
+            probabilities = self._root_weights[positive] / self._root_weights[positive].sum()
+            pos = int(self.rng.choice(positive, p=probabilities))
+        return pos
+
+    def _predicates_satisfied(self, assignment: Dict[str, int]) -> bool:
+        if self.query.push_down_predicates or not self.query.predicates:
+            return True
+        for rel_name, predicate in self.query.predicates.items():
+            relation = self.query.relation(rel_name)
+            row = relation.row(assignment[rel_name])
+            if not predicate.evaluate(row, relation.schema):
+                return False
+        return True
+
+
+__all__ = ["JoinSampler", "JoinSamplerStats", "SampleDraw"]

@@ -1,0 +1,232 @@
+"""Wander Join: random walks over the join data graph (Li et al., SIGMOD'16).
+
+A wander-join walk starts at a uniformly random row of the root relation and,
+at every hop, moves to a uniformly random joinable row of the next relation.
+The walk either fails (no joinable row, or a residual condition is violated)
+or produces one join result ``t`` together with its sampling probability
+
+    p(t) = 1/|R_1| · 1/d_2(t_1) · ... · 1/d_m(t_{m-1})
+
+computed on the fly from the hash indexes (paper §6.1, Example 6).  Results
+are independent but *not* uniform; the Horvitz–Thompson estimator
+``|J| ≈ (1/m) Σ 1/p(t_k)`` (failed walks contribute 0) estimates the join size
+with a confidence interval that shrinks as the number of walks grows.
+
+The union framework uses wander join in two places:
+
+* the **random-walk warm-up** that estimates join sizes and overlap sizes
+  (§6), and
+* the **sample reuse** pool of the online union sampler (§7), which recycles
+  the walk results ``(t, p(t))`` with an extra accept/reject step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import NormalDist
+from typing import Dict, List, Optional, Tuple
+
+from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
+from repro.joins.query import JoinQuery
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a single wander-join random walk."""
+
+    success: bool
+    value: Optional[Tuple] = None
+    assignment: Optional[Dict[str, int]] = None
+    probability: float = 0.0
+
+    @property
+    def inverse_probability(self) -> float:
+        """Horvitz–Thompson contribution (0 for failed walks)."""
+        if not self.success or self.probability <= 0:
+            return 0.0
+        return 1.0 / self.probability
+
+
+@dataclass
+class SizeEstimate:
+    """A join-size estimate with its confidence interval."""
+
+    estimate: float
+    variance: float
+    walks: int
+    successes: int
+    confidence: float
+    half_width: float
+
+    @property
+    def standard_error(self) -> float:
+        if self.walks == 0:
+            return float("inf")
+        return math.sqrt(self.variance / self.walks)
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.estimate == 0:
+            return float("inf")
+        return self.half_width / self.estimate
+
+    @property
+    def success_rate(self) -> float:
+        if self.walks == 0:
+            return 0.0
+        return self.successes / self.walks
+
+
+class RunningEstimator:
+    """Incrementally updated Horvitz–Thompson estimator (paper §6.1).
+
+    ``add`` consumes the HT contribution ``1/p(t)`` of a walk (0 for failures)
+    and keeps running mean and variance using the same update rule as Eq. in
+    §6.1: ``|J|_{S∪t0} = |J|_S + ( 1/p(t0) − |J|_S ) / (m+1)``.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.successes = 0
+        self.mean = 0.0
+        self._m2 = 0.0  # sum of squared deviations (Welford)
+
+    def add(self, inverse_probability: float) -> None:
+        self.count += 1
+        if inverse_probability > 0:
+            self.successes += 1
+        delta = inverse_probability - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (inverse_probability - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance of the HT contributions."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    def estimate(self, confidence: float = 0.9) -> SizeEstimate:
+        half_width = 0.0
+        if self.count >= 2:
+            z = z_value(confidence)
+            half_width = z * math.sqrt(self.variance / self.count)
+        return SizeEstimate(
+            estimate=self.mean,
+            variance=self.variance,
+            walks=self.count,
+            successes=self.successes,
+            confidence=confidence,
+            half_width=half_width,
+        )
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided standard-normal quantile for the given confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+class WanderJoin:
+    """Random-walk sampler and size estimator for one join query."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        seed: RandomState = None,
+        tree: Optional[JoinTree] = None,
+    ) -> None:
+        self.query = query
+        self.tree = tree or build_join_tree(query)
+        self.rng = ensure_rng(seed)
+        self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
+        self._collect(self.tree.root, None)
+        self.walk_count = 0
+        self.success_count = 0
+
+    def _collect(self, node: JoinTreeNode, parent: Optional[JoinTreeNode]) -> None:
+        self._order.append((node, parent))
+        for child in node.children:
+            self._collect(child, node)
+
+    # ------------------------------------------------------------------ walks
+    def walk(self) -> WalkResult:
+        """Perform one random walk; returns its result and probability."""
+        self.walk_count += 1
+        root = self.tree.root
+        root_rel = self.query.relation(root.relation)
+        if len(root_rel) == 0:
+            return WalkResult(success=False)
+        assignment: Dict[str, int] = {}
+        probability = 1.0 / len(root_rel)
+        assignment[root.relation] = int(self.rng.integers(0, len(root_rel)))
+
+        for node, parent in self._order:
+            if parent is None:
+                continue
+            parent_rel = self.query.relation(parent.relation)
+            child_rel = self.query.relation(node.relation)
+            parent_row = parent_rel.row(assignment[parent.relation])
+            key = tuple(
+                parent_row[parent_rel.schema.position(a)] for a in node.parent_attributes
+            )
+            lookup = key if len(key) > 1 else key[0]
+            joinable = child_rel.index_on_columns(node.child_attributes).positions(lookup)
+            if not joinable:
+                return WalkResult(success=False)
+            probability *= 1.0 / len(joinable)
+            assignment[node.relation] = joinable[int(self.rng.integers(0, len(joinable)))]
+
+        if not self.tree.residual_satisfied(assignment):
+            return WalkResult(success=False)
+        self.success_count += 1
+        return WalkResult(
+            success=True,
+            value=self.query.project_assignment(assignment),
+            assignment=assignment,
+            probability=probability,
+        )
+
+    def walks(self, count: int) -> List[WalkResult]:
+        """``count`` independent walks (failed walks included)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return [self.walk() for _ in range(count)]
+
+    # -------------------------------------------------------------- estimation
+    def estimate_size(
+        self,
+        confidence: float = 0.9,
+        relative_half_width: float = 0.1,
+        min_walks: int = 100,
+        max_walks: int = 10_000,
+    ) -> SizeEstimate:
+        """Horvitz–Thompson join-size estimate.
+
+        Walks continue until the confidence interval's relative half-width
+        drops below ``relative_half_width`` (at the given ``confidence``) or
+        ``max_walks`` is reached — the termination rule of §6.1.
+        """
+        estimator = RunningEstimator()
+        while estimator.count < max_walks:
+            estimator.add(self.walk().inverse_probability)
+            if estimator.count >= min_walks:
+                current = estimator.estimate(confidence)
+                if (
+                    current.estimate > 0
+                    and current.relative_half_width <= relative_half_width
+                ):
+                    return current
+        return estimator.estimate(confidence)
+
+
+__all__ = [
+    "WalkResult",
+    "SizeEstimate",
+    "RunningEstimator",
+    "WanderJoin",
+    "z_value",
+]

@@ -1,0 +1,228 @@
+"""Weight functions for accept/reject join sampling (Zhao et al. framework).
+
+The single-join sampler (paper §3.2) labels every tuple of every relation with
+a *weight*: an upper bound on the number of join results the tuple can yield
+through the subtree of the join tree rooted at its relation.  Sampling then
+walks the tree root-to-leaves, choosing rows proportionally to their weights
+and rejecting with the ratio of realized weight to bound, which yields
+uniform, independent samples of the join result with acceptance probability
+``|J| / W`` (``W`` is the total weight).
+
+Two instantiations from the paper are provided:
+
+* :class:`ExactWeightFunction` (**EW**) — exact per-row result counts computed
+  bottom-up; sampling never rejects (the ground truth for weights);
+* :class:`ExtendedOlkenWeightFunction` (**EO**) — per-node constants derived
+  from maximum degrees; cheap to build but rejects with rate
+  ``1 - |J|/OlkenBound``.  Following §3.2 we release the key–foreign-key
+  assumption by zeroing the weights of root tuples that have no joinable
+  partner in some child (an extra linear pass over the hash tables).
+
+The Wander-Join instantiation is not a weight function — it is a random-walk
+estimator — and lives in :mod:`repro.sampling.wander_join`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
+from repro.joins.query import JoinQuery
+
+
+class WeightFunction(ABC):
+    """Per-row weights over the relations of one join tree."""
+
+    #: short identifier used in experiment labels ("ew", "eo", ...)
+    name: str = "abstract"
+
+    def __init__(self, query: JoinQuery, tree: Optional[JoinTree] = None) -> None:
+        self.query = query
+        self.tree = tree or build_join_tree(query)
+
+    # ------------------------------------------------------------------ api
+    @property
+    @abstractmethod
+    def total_weight(self) -> float:
+        """Sum of root-row weights ``W`` — an upper bound on the join size."""
+
+    @abstractmethod
+    def root_weights(self) -> np.ndarray:
+        """Weight of every row of the root relation (array of length |root|)."""
+
+    @abstractmethod
+    def weight(self, node: JoinTreeNode, position: int) -> float:
+        """Weight of the row at ``position`` in ``node``'s relation."""
+
+    @abstractmethod
+    def acceptance_bound(self, node: JoinTreeNode) -> Optional[float]:
+        """Denominator of the accept/reject test when descending into ``node``.
+
+        ``None`` means "use the realized weight sum" (no rejection — the exact
+        weight case); otherwise the value must upper-bound the realized weight
+        sum of the joinable rows for any parent row.
+        """
+
+    # -------------------------------------------------------------- utilities
+    def describe(self) -> Dict[str, float]:
+        """Summary used by benchmarks (total weight and per-node bounds)."""
+        return {"total_weight": self.total_weight}
+
+
+class ExactWeightFunction(WeightFunction):
+    """Exact per-row join-result counts (the paper's **EW** instantiation).
+
+    ``weight(v, t)`` equals the exact number of results of the subtree rooted
+    at relation ``v`` that use row ``t``; the total weight equals the exact
+    size of the (skeleton) join.  Building costs one bottom-up pass with a
+    hash lookup per row and child.
+    """
+
+    name = "ew"
+
+    def __init__(self, query: JoinQuery, tree: Optional[JoinTree] = None) -> None:
+        super().__init__(query, tree)
+        self._weights: Dict[str, np.ndarray] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        for node in self.tree.root.post_order():
+            relation = self.query.relation(node.relation)
+            weights = np.ones(len(relation), dtype=float)
+            for child in node.children:
+                child_rel = self.query.relation(child.relation)
+                child_weights = self._weights[child.relation]
+                index = child_rel.index_on_columns(child.child_attributes)
+                parent_positions = relation.schema.positions(child.parent_attributes)
+                factor = np.zeros(len(relation), dtype=float)
+                for pos in range(len(relation)):
+                    row = relation.row(pos)
+                    key = tuple(row[p] for p in parent_positions)
+                    lookup = key if len(key) > 1 else key[0]
+                    matches = index.positions(lookup)
+                    if matches:
+                        factor[pos] = float(child_weights[list(matches)].sum())
+                weights *= factor
+            self._weights[node.relation] = weights
+
+    @property
+    def total_weight(self) -> float:
+        return float(self._weights[self.tree.root.relation].sum())
+
+    def root_weights(self) -> np.ndarray:
+        return self._weights[self.tree.root.relation]
+
+    def weight(self, node: JoinTreeNode, position: int) -> float:
+        return float(self._weights[node.relation][position])
+
+    def weights_for(self, node: JoinTreeNode, positions: Sequence[int]) -> np.ndarray:
+        """Vectorized weight lookup for several row positions."""
+        return self._weights[node.relation][list(positions)]
+
+    def acceptance_bound(self, node: JoinTreeNode) -> Optional[float]:
+        return None  # exact weights never reject
+
+
+class ExtendedOlkenWeightFunction(WeightFunction):
+    """Maximum-degree weights (the paper's **EO** instantiation).
+
+    Every row of relation ``v`` gets the same weight ``cap(v)``:
+
+        cap(leaf) = 1
+        cap(v)    = Π_{c child of v} M_key(c) · cap(c)
+
+    so the total weight is the extended Olken bound.  With
+    ``prune_dangling=True`` (the paper's modification for non key–foreign-key
+    joins) root rows with no joinable partner in some child get weight zero,
+    which tightens the bound without affecting uniformity.
+    """
+
+    name = "eo"
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        tree: Optional[JoinTree] = None,
+        prune_dangling: bool = True,
+    ) -> None:
+        super().__init__(query, tree)
+        self.prune_dangling = prune_dangling
+        self._cap: Dict[str, float] = {}
+        self._max_degree: Dict[str, float] = {}
+        self._compute_caps()
+        self._root_weights = self._compute_root_weights()
+
+    def _compute_caps(self) -> None:
+        for node in self.tree.root.post_order():
+            cap = 1.0
+            for child in node.children:
+                child_rel = self.query.relation(child.relation)
+                stats = child_rel.statistics_on_columns(child.child_attributes)
+                self._max_degree[child.relation] = float(stats.max_degree)
+                cap *= float(stats.max_degree) * self._cap[child.relation]
+            self._cap[node.relation] = cap
+
+    def _compute_root_weights(self) -> np.ndarray:
+        root = self.tree.root
+        relation = self.query.relation(root.relation)
+        weights = np.full(len(relation), self._cap[root.relation], dtype=float)
+        if not self.prune_dangling:
+            return weights
+        for child in root.children:
+            child_rel = self.query.relation(child.relation)
+            index = child_rel.index_on_columns(child.child_attributes)
+            parent_positions = relation.schema.positions(child.parent_attributes)
+            for pos in range(len(relation)):
+                if weights[pos] == 0.0:
+                    continue
+                row = relation.row(pos)
+                key = tuple(row[p] for p in parent_positions)
+                lookup = key if len(key) > 1 else key[0]
+                if index.degree(lookup) == 0:
+                    weights[pos] = 0.0
+        return weights
+
+    @property
+    def total_weight(self) -> float:
+        return float(self._root_weights.sum())
+
+    def root_weights(self) -> np.ndarray:
+        return self._root_weights
+
+    def weight(self, node: JoinTreeNode, position: int) -> float:
+        if node.is_root:
+            return float(self._root_weights[position])
+        return self._cap[node.relation]
+
+    def cap(self, relation: str) -> float:
+        """Per-node constant ``cap`` (bound on any row's subtree result count)."""
+        return self._cap[relation]
+
+    def acceptance_bound(self, node: JoinTreeNode) -> Optional[float]:
+        return self._max_degree[node.relation] * self._cap[node.relation]
+
+
+def make_weight_function(
+    method: str,
+    query: JoinQuery,
+    tree: Optional[JoinTree] = None,
+    **kwargs,
+) -> WeightFunction:
+    """Factory: ``"ew"``/``"exact"`` or ``"eo"``/``"olken"`` -> weight function."""
+    key = method.lower()
+    if key in ("ew", "exact", "exact_weight"):
+        return ExactWeightFunction(query, tree)
+    if key in ("eo", "olken", "extended_olken"):
+        return ExtendedOlkenWeightFunction(query, tree, **kwargs)
+    raise ValueError(f"unknown weight method {method!r}; expected 'ew' or 'eo'")
+
+
+__all__ = [
+    "WeightFunction",
+    "ExactWeightFunction",
+    "ExtendedOlkenWeightFunction",
+    "make_weight_function",
+]

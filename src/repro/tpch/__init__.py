@@ -1,0 +1,26 @@
+"""TPC-H style data substrate: generator, schemas, and the evaluation workloads."""
+
+from repro.tpch.cyclic import build_cyclic_bundle_workload
+from repro.tpch.generator import TPCHGenerator, generate_tpch
+from repro.tpch.schema import CARDINALITIES_AT_SF1, SCHEMAS, rows_at_scale
+from repro.tpch.workloads import (
+    UnionWorkload,
+    build_uq1,
+    build_uq2,
+    build_uq3,
+    build_workload,
+)
+
+__all__ = [
+    "TPCHGenerator",
+    "generate_tpch",
+    "CARDINALITIES_AT_SF1",
+    "SCHEMAS",
+    "rows_at_scale",
+    "UnionWorkload",
+    "build_uq1",
+    "build_uq2",
+    "build_uq3",
+    "build_workload",
+    "build_cyclic_bundle_workload",
+]

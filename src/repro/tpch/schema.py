@@ -1,0 +1,188 @@
+"""TPC-H style schemas and cardinality ratios.
+
+The evaluation datasets (UQ1, UQ2, UQ3) are tailored from the TPC-H benchmark.
+Because the official ``dbgen`` tool and multi-gigabyte datasets are outside the
+scope of a pure-Python reproduction, :mod:`repro.tpch.generator` synthesizes
+relations with the same schema skeleton and the official cardinality ratios at
+configurable (small) scale factors.  This module defines those schemas and
+ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.relational.schema import Attribute, Schema
+
+#: Rows per relation at scale factor 1.0 (the official TPC-H ratios).
+CARDINALITIES_AT_SF1: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Minimum row counts so that tiny scale factors still produce joinable data
+#: (suppliers/customers need to cover all 25 nations for the UQ1 partitioning).
+MINIMUM_ROWS: Dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 50,
+    "customer": 100,
+    "part": 50,
+    "partsupp": 200,
+    "orders": 200,
+    "lineitem": 500,
+}
+
+REGION_SCHEMA = Schema(
+    [Attribute("regionkey", "int"), Attribute("r_name", "str")]
+)
+
+NATION_SCHEMA = Schema(
+    [
+        Attribute("nationkey", "int"),
+        Attribute("n_name", "str"),
+        Attribute("regionkey", "int"),
+    ]
+)
+
+SUPPLIER_SCHEMA = Schema(
+    [
+        Attribute("suppkey", "int"),
+        Attribute("s_name", "str"),
+        Attribute("nationkey", "int"),
+        Attribute("s_acctbal", "float"),
+    ]
+)
+
+CUSTOMER_SCHEMA = Schema(
+    [
+        Attribute("custkey", "int"),
+        Attribute("c_name", "str"),
+        Attribute("nationkey", "int"),
+        Attribute("mktsegment", "str"),
+        Attribute("c_acctbal", "float"),
+    ]
+)
+
+PART_SCHEMA = Schema(
+    [
+        Attribute("partkey", "int"),
+        Attribute("p_name", "str"),
+        Attribute("brand", "str"),
+        Attribute("p_type", "str"),
+        Attribute("p_size", "int"),
+        Attribute("retailprice", "float"),
+    ]
+)
+
+PARTSUPP_SCHEMA = Schema(
+    [
+        Attribute("partkey", "int"),
+        Attribute("suppkey", "int"),
+        Attribute("availqty", "int"),
+        Attribute("supplycost", "float"),
+    ]
+)
+
+ORDERS_SCHEMA = Schema(
+    [
+        Attribute("orderkey", "int"),
+        Attribute("custkey", "int"),
+        Attribute("orderstatus", "str"),
+        Attribute("totalprice", "float"),
+        Attribute("orderdate", "int"),
+        Attribute("orderpriority", "str"),
+    ]
+)
+
+LINEITEM_SCHEMA = Schema(
+    [
+        Attribute("orderkey", "int"),
+        Attribute("partkey", "int"),
+        Attribute("suppkey", "int"),
+        Attribute("linenumber", "int"),
+        Attribute("quantity", "int"),
+        Attribute("extendedprice", "float"),
+        Attribute("discount", "float"),
+        Attribute("shipdate", "int"),
+    ]
+)
+
+SCHEMAS: Dict[str, Schema] = {
+    "region": REGION_SCHEMA,
+    "nation": NATION_SCHEMA,
+    "supplier": SUPPLIER_SCHEMA,
+    "customer": CUSTOMER_SCHEMA,
+    "part": PART_SCHEMA,
+    "partsupp": PARTSUPP_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "lineitem": LINEITEM_SCHEMA,
+}
+
+MKT_SEGMENTS: Tuple[str, ...] = (
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+)
+
+ORDER_PRIORITIES: Tuple[str, ...] = (
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+)
+
+ORDER_STATUSES: Tuple[str, ...] = ("O", "F", "P")
+
+PART_TYPES: Tuple[str, ...] = (
+    "STANDARD ANODIZED TIN",
+    "SMALL PLATED COPPER",
+    "MEDIUM POLISHED BRASS",
+    "LARGE BURNISHED STEEL",
+    "ECONOMY BRUSHED NICKEL",
+    "PROMO PLATED STEEL",
+)
+
+REGION_NAMES: Tuple[str, ...] = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+NATION_NAMES: Tuple[str, ...] = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+
+
+def rows_at_scale(table: str, scale_factor: float) -> int:
+    """Row count of ``table`` at the given scale factor (floored at the minimum)."""
+    if scale_factor <= 0:
+        raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+    if table not in CARDINALITIES_AT_SF1:
+        raise KeyError(f"unknown TPC-H table {table!r}")
+    scaled = int(round(CARDINALITIES_AT_SF1[table] * scale_factor))
+    return max(scaled, MINIMUM_ROWS[table])
+
+
+__all__ = [
+    "CARDINALITIES_AT_SF1",
+    "MINIMUM_ROWS",
+    "SCHEMAS",
+    "MKT_SEGMENTS",
+    "ORDER_PRIORITIES",
+    "ORDER_STATUSES",
+    "PART_TYPES",
+    "REGION_NAMES",
+    "NATION_NAMES",
+    "rows_at_scale",
+]

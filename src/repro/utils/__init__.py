@@ -1,0 +1,6 @@
+"""Shared utilities: seeded random number generation and phase timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timer import PhaseTimer, Stopwatch
+
+__all__ = ["ensure_rng", "spawn_rngs", "PhaseTimer", "Stopwatch"]

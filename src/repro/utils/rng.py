@@ -1,0 +1,77 @@
+"""Random number generation helpers.
+
+Every stochastic component in the library accepts either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralizes the conversion so that experiments are reproducible while
+library users keep a familiar ``seed=`` keyword.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+RandomState = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for the given seed-like value.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
+        (returned unchanged so that callers can thread one generator through
+        a whole pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators from one seed.
+
+    Child streams are statistically independent, which keeps parallel
+    components (for example one sampler per join in a union) from sharing a
+    stream and accidentally correlating their draws.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        # Derive children deterministically from the generator's own stream.
+        child_seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in child_seeds]
+    return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def weighted_choice(
+    rng: np.random.Generator,
+    items: Sequence,
+    weights: Iterable[float],
+) -> object:
+    """Pick one element of ``items`` with probability proportional to ``weights``.
+
+    Raises ``ValueError`` when all weights are zero or any weight is negative.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if len(w) != len(items):
+        raise ValueError("items and weights must have the same length")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    idx = rng.choice(len(items), p=w / total)
+    return items[int(idx)]
+
+
+def bernoulli(rng: np.random.Generator, probability: float) -> bool:
+    """Return ``True`` with the given probability (clamped to [0, 1])."""
+    p = min(max(probability, 0.0), 1.0)
+    return bool(rng.random() < p)
+
+
+__all__ = ["RandomState", "ensure_rng", "spawn_rngs", "weighted_choice", "bernoulli"]

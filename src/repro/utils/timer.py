@@ -1,0 +1,93 @@
+"""Lightweight timers used for the runtime-breakdown experiments (Fig. 5f-h).
+
+The samplers need to attribute wall-clock time to phases (parameter
+estimation, accepted answers, rejected answers, reuse phase).  The
+:class:`PhaseTimer` accumulates seconds per named phase; :class:`Stopwatch`
+is a simple context manager for one measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Measure one elapsed interval.
+
+    Use either as a context manager or with explicit ``start``/``stop``.
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulate elapsed seconds per named phase.
+
+    Example
+    -------
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("warmup"):
+    ...     pass
+    >>> "warmup" in timer.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to the accumulated total for ``name``."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        """Total seconds recorded for ``name`` (0.0 if never recorded)."""
+        return self.totals.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum of all recorded phases."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "PhaseTimer") -> "PhaseTimer":
+        """Return a new timer with the phase totals of both timers."""
+        merged = PhaseTimer(dict(self.totals))
+        for name, seconds in other.totals.items():
+            merged.add(name, seconds)
+        return merged
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+__all__ = ["Stopwatch", "PhaseTimer"]

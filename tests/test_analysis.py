@@ -1,0 +1,143 @@
+"""Tests for repro.analysis (uniformity tests and error metrics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.errors import (
+    absolute_error,
+    mean_ratio_error,
+    overlap_errors,
+    ratio_estimation_errors,
+    relative_error,
+    summarize_errors,
+    union_size_error,
+)
+from repro.analysis.uniformity import (
+    chi_square_sf,
+    chi_square_uniformity,
+    frequency_table,
+    max_absolute_deviation,
+    serial_independence_statistic,
+)
+from repro.estimation.parameters import UnionParameters
+
+
+class TestChiSquare:
+    def test_accepts_uniform_samples(self):
+        rng = np.random.default_rng(0)
+        population = list(range(20))
+        samples = [int(rng.integers(0, 20)) for _ in range(4000)]
+        result = chi_square_uniformity(samples, population)
+        assert not result.rejects_uniformity(alpha=0.01)
+        assert result.degrees_of_freedom == 19
+
+    def test_rejects_biased_samples(self):
+        rng = np.random.default_rng(1)
+        population = list(range(20))
+        # value 0 drawn 5x as often as the others
+        weights = np.array([5.0] + [1.0] * 19)
+        weights /= weights.sum()
+        samples = [int(rng.choice(20, p=weights)) for _ in range(4000)]
+        result = chi_square_uniformity(samples, population)
+        assert result.rejects_uniformity(alpha=0.01)
+
+    def test_sample_outside_population_is_fatal(self):
+        result = chi_square_uniformity([1, 2, 99], [1, 2, 3])
+        assert math.isinf(result.statistic)
+        assert result.p_value == 0.0
+
+    def test_requires_nonempty_inputs(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity([], [1])
+        with pytest.raises(ValueError):
+            chi_square_uniformity([1], [])
+
+    def test_sf_monotone_decreasing(self):
+        assert chi_square_sf(1.0, 5) > chi_square_sf(10.0, 5) > chi_square_sf(100.0, 5)
+
+    def test_sf_invalid_dof(self):
+        with pytest.raises(ValueError):
+            chi_square_sf(1.0, 0)
+
+    def test_sf_wilson_hilferty_fallback_close_to_scipy(self, monkeypatch):
+        """The numpy-only fallback must stay within a couple of percent of the
+        exact chi-square survival function."""
+        scipy_stats = pytest.importorskip("scipy.stats")
+        from repro.analysis import uniformity as module
+
+        monkeypatch.setattr(module, "_scipy_stats", None)
+        for stat, dof in [(3.0, 2), (12.0, 8), (30.0, 20), (8.0, 8)]:
+            approx = module.chi_square_sf(stat, dof)
+            exact = float(scipy_stats.chi2.sf(stat, dof))
+            assert approx == pytest.approx(exact, abs=0.02)
+
+
+class TestOtherUniformityHelpers:
+    def test_frequency_table(self):
+        assert frequency_table(["a", "b", "a"]) == {"a": 2, "b": 1}
+
+    def test_max_absolute_deviation(self):
+        assert max_absolute_deviation([1, 1, 2, 2], [1, 2]) == 0.0
+        assert max_absolute_deviation([1, 1, 1, 2], [1, 2]) == pytest.approx(0.25)
+
+    def test_max_absolute_deviation_validates(self):
+        with pytest.raises(ValueError):
+            max_absolute_deviation([], [1])
+
+    def test_serial_independence_near_one_for_iid(self):
+        rng = np.random.default_rng(3)
+        samples = [int(rng.integers(0, 10)) for _ in range(5000)]
+        assert serial_independence_statistic(samples) == pytest.approx(1.0, abs=0.35)
+
+    def test_serial_independence_detects_sticky_sampler(self):
+        sticky = [0, 0, 1, 1, 2, 2, 3, 3] * 100
+        assert serial_independence_statistic(sticky) > 2.0
+
+    def test_serial_independence_degenerate_cases(self):
+        assert serial_independence_statistic([1]) == 1.0
+        assert math.isinf(serial_independence_statistic([1, 1, 1]))
+
+
+def params(join_sizes, union_size, overlaps=None):
+    names = list(join_sizes)
+    return UnionParameters(
+        join_order=names,
+        join_sizes=dict(join_sizes),
+        cover_sizes=dict(join_sizes),
+        union_size=union_size,
+        overlaps=overlaps or {},
+    )
+
+
+class TestErrorMetrics:
+    def test_absolute_and_relative(self):
+        assert absolute_error(3.0, 5.0) == 2.0
+        assert relative_error(3.0, 5.0) == pytest.approx(0.4)
+        assert relative_error(3.0, 0.0) == float("inf")
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_ratio_errors_and_mean(self):
+        estimated = params({"J1": 4.0, "J2": 4.0}, union_size=8.0)
+        exact = params({"J1": 6.0, "J2": 4.0}, union_size=8.0)
+        errors = ratio_estimation_errors(estimated, exact)
+        assert errors["J1"] == pytest.approx(0.25)
+        assert errors["J2"] == 0.0
+        assert mean_ratio_error(estimated, exact) == pytest.approx(0.125)
+
+    def test_union_size_error(self):
+        estimated = params({"J1": 4.0}, union_size=6.0)
+        exact = params({"J1": 4.0}, union_size=8.0)
+        assert union_size_error(estimated, exact) == pytest.approx(0.25)
+
+    def test_overlap_errors(self):
+        key = frozenset(["J1", "J2"])
+        estimated = params({"J1": 4.0, "J2": 4.0}, 6.0, {key: 3.0})
+        exact = params({"J1": 4.0, "J2": 4.0}, 6.0, {key: 2.0})
+        assert overlap_errors(estimated, exact)[key] == pytest.approx(0.5)
+
+    def test_summarize(self):
+        summary = summarize_errors([0.1, 0.3, 0.2])
+        assert summary == {"min": 0.1, "mean": pytest.approx(0.2), "max": 0.3}
+        assert summarize_errors([]) == {"min": 0.0, "mean": 0.0, "max": 0.0}

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sample_defaults(self):
+        args = build_parser().parse_args(["sample"])
+        assert args.workload == "UQ1"
+        assert args.sampler == "set-union"
+        assert args.warmup == "histogram"
+
+    def test_figure_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_all_documented_figures_registered(self):
+        expected = {
+            "fig4a", "fig4b", "fig4c", "fig4d",
+            "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
+            "fig6a", "fig6b", "ablation-bernoulli", "ablation-template",
+        }
+        assert expected == set(FIGURES)
+
+
+class TestCommands:
+    common = ["--scale-factor", "0.0005", "--seed", "3"]
+
+    def test_sample_set_union(self, capsys):
+        code = main(
+            ["sample", "--workload", "UQ2", "--samples", "30",
+             "--sampler", "set-union", "--warmup", "histogram", *self.common]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "samples drawn      : 30" in out
+        assert "per-join samples" in out
+
+    def test_sample_online(self, capsys):
+        code = main(["sample", "--workload", "UQ2", "--samples", "20",
+                     "--sampler", "online", *self.common])
+        assert code == 0
+        assert "samples drawn      : 20" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("sampler", ["bernoulli", "disjoint"])
+    def test_sample_other_algorithms(self, capsys, sampler):
+        code = main(["sample", "--workload", "UQ2", "--samples", "15",
+                     "--sampler", sampler, "--warmup", "exact", *self.common])
+        assert code == 0
+        assert "samples drawn      : 15" in capsys.readouterr().out
+
+    def test_estimate(self, capsys):
+        code = main(["estimate", "--workload", "UQ2", "--walks", "150", *self.common])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact" in out and "histogram+EO" in out and "random-walk" in out
+
+    def test_figure(self, capsys):
+        code = main(["figure", "fig5a", "--scale-factor", "0.0005",
+                     "--walks", "100", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig5a" in out
+        assert "random_walk_error" in out

@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.cost (the Theorem-2 cost model)."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost import expected_sampling_cost, observed_cost
+from repro.core.union_sampler import SetUnionSampler
+from repro.estimation.exact import FullJoinUnionEstimator
+from repro.estimation.parameters import UnionParameters
+
+
+def make_parameters():
+    return UnionParameters(
+        join_order=["J1", "J2"],
+        join_sizes={"J1": 60.0, "J2": 50.0},
+        cover_sizes={"J1": 60.0, "J2": 40.0},
+        union_size=100.0,
+    )
+
+
+class TestExpectedCost:
+    def test_per_join_expectations(self):
+        cost = expected_sampling_cost(make_parameters(), 100)
+        assert cost.per_join_expected_samples["J1"] == pytest.approx(60.0)
+        assert cost.per_join_expected_samples["J2"] == pytest.approx(40.0)
+        assert cost.per_join_expected_draws["J1"] == pytest.approx(60.0 * math.log(60.0))
+
+    def test_total_below_theorem2_bound(self):
+        for n in (2, 10, 100, 1000):
+            cost = expected_sampling_cost(make_parameters(), n)
+            assert cost.expected_total_draws <= cost.theorem2_bound + 1e-9
+
+    def test_small_sample_sizes(self):
+        assert expected_sampling_cost(make_parameters(), 0).expected_total_draws == 0.0
+        one = expected_sampling_cost(make_parameters(), 1)
+        assert one.theorem2_bound == 1.0
+        assert one.amplification <= 1.0 + 1e-9
+
+    def test_negative_sample_size_rejected(self):
+        with pytest.raises(ValueError):
+            expected_sampling_cost(make_parameters(), -1)
+
+    def test_amplification_growth_is_logarithmic(self):
+        small = expected_sampling_cost(make_parameters(), 10)
+        large = expected_sampling_cost(make_parameters(), 1000)
+        assert large.amplification > small.amplification
+        assert large.amplification <= 1 + math.log(1000)
+
+
+class TestObservedCost:
+    def test_observed_cost_matches_sampler_counters(self, union_triple):
+        exact = FullJoinUnionEstimator(union_triple).estimate()
+        sampler = SetUnionSampler(union_triple, exact, seed=3, mode="record")
+        result = sampler.sample(100)
+        observed = observed_cost(result)
+        assert observed["samples"] == 100.0
+        assert observed["iterations"] >= 100.0
+        assert observed["draws_per_sample"] >= 1.0
+
+    def test_observed_iterations_within_theorem2_style_budget(self, union_triple):
+        """The measured iteration count should stay within the N + N log N
+        envelope of Theorem 2 (with slack for the small-N regime)."""
+        exact = FullJoinUnionEstimator(union_triple).estimate()
+        sampler = SetUnionSampler(union_triple, exact, seed=5, mode="strict")
+        n = 200
+        result = sampler.sample(n)
+        bound = expected_sampling_cost(exact, n).theorem2_bound
+        assert result.stats.iterations <= 3.0 * bound

@@ -1,0 +1,101 @@
+"""Tests for repro.joins.executor: the FullJoinUnion ground truth."""
+
+import pytest
+
+from repro.joins.executor import (
+    exact_disjoint_union_size,
+    exact_join_size,
+    exact_overlap_size,
+    exact_union_size,
+    execute_join,
+    iterate_join_assignments,
+    join_result_set,
+)
+
+
+class TestChainExecution:
+    def test_chain_results_match_hand_computation(self, chain_query):
+        results = sorted(execute_join(chain_query))
+        assert results == [
+            (1, 100, 7),
+            (1, 200, 8),
+            (2, 300, 9),
+            (2, 300, 10),
+            (3, 100, 7),
+            (3, 200, 8),
+        ]
+
+    def test_exact_join_size_distinct_and_raw(self, chain_query):
+        assert exact_join_size(chain_query) == 6
+        assert exact_join_size(chain_query, distinct=False) == 6
+
+    def test_assignments_cover_all_relations(self, chain_query):
+        for assignment in iterate_join_assignments(chain_query):
+            assert set(assignment) == {"R", "S", "T"}
+
+
+class TestAcyclicExecution:
+    def test_star_results(self, acyclic_query):
+        results = sorted(execute_join(acyclic_query))
+        assert results == [
+            (1, "d1", "e1"),
+            (1, "d2", "e1"),
+            (2, "d3", "e2"),
+            (2, "d3", "e3"),
+        ]
+
+    def test_size(self, acyclic_query):
+        assert exact_join_size(acyclic_query) == 4
+
+
+class TestCyclicExecution:
+    def test_triangle_results_respect_residual(self, cyclic_query):
+        results = sorted(execute_join(cyclic_query))
+        assert results == [(1, 2, 4), (7, 2, 4)]
+
+    def test_size(self, cyclic_query):
+        assert exact_join_size(cyclic_query) == 2
+
+
+class TestUnionAndOverlap:
+    def test_union_pair_sizes(self, union_pair):
+        j1, j2 = union_pair
+        assert join_result_set(j1) == {(1, 100), (1, 200), (2, 300)}
+        assert join_result_set(j2) == {(1, 100), (1, 200), (3, 400)}
+        assert exact_overlap_size(union_pair) == 2
+        assert exact_union_size(union_pair) == 4
+        assert exact_disjoint_union_size(union_pair) == 6
+
+    def test_union_triple_sizes(self, union_triple):
+        assert exact_union_size(union_triple) == 5
+        assert exact_overlap_size(union_triple) == 1  # only (1, 100) is in all three
+        assert exact_overlap_size(union_triple[:2]) == 2
+
+    def test_overlap_of_empty_list(self):
+        assert exact_overlap_size([]) == 0
+
+    def test_overlap_disjoint_joins(self, union_pair):
+        from tests.conftest import make_chain_query
+
+        j_disjoint = make_chain_query("JD", r_rows=[(9, 90)], s_rows=[(90, 900)])
+        assert exact_overlap_size([union_pair[0], j_disjoint]) == 0
+
+
+class TestEdgeCases:
+    def test_empty_relation_produces_no_results(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("empty", r_rows=[], s_rows=[(10, 100)])
+        assert execute_join(query) == []
+        assert exact_join_size(query) == 0
+
+    def test_duplicate_output_values_collapse_in_distinct_size(self):
+        from tests.conftest import make_chain_query
+
+        # Two R rows with the same 'a' value and the same join key produce
+        # identical output values when only (a, c) is projected.
+        query = make_chain_query(
+            "dups", r_rows=[(1, 10), (1, 10)], s_rows=[(10, 100)], output=("a", "c")
+        )
+        assert exact_join_size(query, distinct=False) == 2
+        assert exact_join_size(query, distinct=True) == 1

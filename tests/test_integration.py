@@ -1,0 +1,109 @@
+"""End-to-end integration tests on the TPC-H workloads.
+
+These tests exercise the full pipeline the paper's experiments use: build a
+workload, estimate parameters with each warm-up method, sample the union with
+each algorithm, and validate the samples against the exact (FullJoinUnion)
+ground truth.
+"""
+
+import pytest
+
+from repro.analysis.errors import mean_ratio_error
+from repro.analysis.uniformity import chi_square_uniformity
+from repro.core.online_sampler import OnlineUnionSampler
+from repro.core.union_sampler import (
+    BernoulliUnionSampler,
+    DisjointUnionSampler,
+    SetUnionSampler,
+)
+from repro.estimation.exact import FullJoinUnionEstimator
+from repro.estimation.histogram import HistogramUnionEstimator
+from repro.estimation.random_walk import RandomWalkUnionEstimator
+from repro.joins.executor import join_result_set
+
+
+@pytest.fixture(scope="module", params=["uq1", "uq2", "uq3"])
+def workload(request, uq1_small, uq2_small, uq3_small):
+    return {"uq1": uq1_small, "uq2": uq2_small, "uq3": uq3_small}[request.param]
+
+
+@pytest.fixture(scope="module")
+def exact(workload):
+    return FullJoinUnionEstimator(workload.queries).estimate()
+
+
+@pytest.fixture(scope="module")
+def union_universe(workload):
+    universe = set()
+    for query in workload.queries:
+        universe |= join_result_set(query)
+    return universe
+
+
+class TestEstimatorsAgainstGroundTruth:
+    def test_histogram_estimator_bounds_overlaps(self, workload, exact):
+        estimator = HistogramUnionEstimator(workload.queries, join_size_method="ew")
+        params = estimator.estimate()
+        # EW join sizes are exact, so join sizes must match the ground truth.
+        for name, size in exact.join_sizes.items():
+            assert params.join_sizes[name] == pytest.approx(size)
+        # Histogram overlaps are upper bounds, so the union estimate is a lower
+        # bound (never above the exact union by more than rounding).
+        assert params.union_size <= exact.union_size * 1.001
+
+    def test_random_walk_estimator_accuracy(self, workload, exact):
+        estimator = RandomWalkUnionEstimator(workload.queries, walks_per_join=800, seed=21)
+        params = estimator.estimate()
+        error = mean_ratio_error(params, exact)
+        assert error < 0.25, f"random-walk ratio error too large: {error}"
+
+    def test_histogram_eo_sizes_dominate_exact(self, workload, exact):
+        estimator = HistogramUnionEstimator(workload.queries, join_size_method="eo")
+        for query in workload.queries:
+            assert estimator.join_size(query) >= exact.join_sizes[query.name] * 0.999
+
+
+class TestSamplersProduceValidSamples:
+    @pytest.mark.parametrize(
+        "sampler_factory",
+        [
+            lambda q, p: DisjointUnionSampler(q, p, seed=31),
+            lambda q, p: BernoulliUnionSampler(q, p, seed=32),
+            lambda q, p: SetUnionSampler(q, p, seed=33, mode="record"),
+            lambda q, p: SetUnionSampler(q, p, seed=34, mode="strict"),
+        ],
+        ids=["disjoint", "bernoulli", "set-union-record", "set-union-strict"],
+    )
+    def test_samples_within_union(self, workload, exact, union_universe, sampler_factory):
+        sampler = sampler_factory(workload.queries, exact)
+        result = sampler.sample(120)
+        assert len(result) == 120
+        assert all(s.value in union_universe for s in result.samples)
+
+    def test_online_sampler_within_union(self, workload, union_universe):
+        sampler = OnlineUnionSampler(workload.queries, seed=35, walks_per_join=200)
+        result = sampler.sample(120)
+        assert len(result) == 120
+        assert all(s.value in union_universe for s in result.samples)
+
+    def test_estimated_parameters_still_produce_valid_samples(self, workload, union_universe):
+        estimator = HistogramUnionEstimator(workload.queries, join_size_method="ew")
+        sampler = SetUnionSampler(workload.queries, estimator, seed=36, mode="record")
+        result = sampler.sample(100)
+        assert all(s.value in union_universe for s in result.samples)
+
+
+class TestUniformityOnSmallUnion:
+    def test_strict_set_union_sampler_is_uniform(self, uq2_small):
+        """UQ2 at tiny scale has a small enough universe for a chi-square test."""
+        exact = FullJoinUnionEstimator(uq2_small.queries).estimate()
+        universe = set()
+        for query in uq2_small.queries:
+            universe |= join_result_set(query)
+        if len(universe) > 400:
+            pytest.skip("universe too large for a cheap uniformity test")
+        sampler = SetUnionSampler(uq2_small.queries, exact, seed=41, mode="strict")
+        count = max(6 * len(universe), 2000)
+        result = sampler.sample(count)
+        check = chi_square_uniformity([s.value for s in result.samples], sorted(universe))
+        assert not check.rejects_uniformity(alpha=0.001)

@@ -1,0 +1,132 @@
+"""Tests for repro.sampling.join_sampler: uniform single-join sampling."""
+
+import pytest
+
+from repro.analysis.uniformity import chi_square_uniformity
+from repro.joins.executor import execute_join, join_result_set
+from repro.joins.query import JoinQuery
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.relational.predicates import Comparison
+from repro.relational.relation import Relation
+from repro.sampling.join_sampler import JoinSampler
+
+
+class TestBasicSampling:
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_samples_are_members_of_the_join(self, chain_query, weights):
+        sampler = JoinSampler(chain_query, weights=weights, seed=1)
+        results = join_result_set(chain_query)
+        for draw in sampler.sample_many(50):
+            assert draw.value in results
+
+    def test_sample_many_count(self, chain_query):
+        sampler = JoinSampler(chain_query, seed=2)
+        assert len(sampler.sample_many(10)) == 10
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    def test_assignment_consistent_with_value(self, chain_query):
+        sampler = JoinSampler(chain_query, seed=3)
+        draw = sampler.sample()
+        assert chain_query.project_assignment(draw.assignment) == draw.value
+
+    def test_empty_join_raises(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("empty", r_rows=[(1, 99)], s_rows=[(10, 100)])
+        sampler = JoinSampler(query, weights="ew", seed=0)
+        with pytest.raises(RuntimeError):
+            sampler.sample(max_attempts=50)
+
+    def test_size_bound_matches_weight_function(self, chain_query):
+        ew = JoinSampler(chain_query, weights="ew", seed=0)
+        eo = JoinSampler(chain_query, weights="eo", seed=0)
+        assert ew.size_bound == 6.0
+        assert ew.exact_size() == 6.0
+        assert eo.exact_size() is None
+        assert eo.size_bound >= ew.size_bound
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_chain_join_uniformity(self, chain_query, weights):
+        sampler = JoinSampler(chain_query, weights=weights, seed=7)
+        population = sorted(join_result_set(chain_query))
+        samples = [sampler.sample().value for _ in range(1200)]
+        result = chi_square_uniformity(samples, population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_acyclic_join_uniformity(self, acyclic_query):
+        sampler = JoinSampler(acyclic_query, weights="eo", seed=11)
+        population = sorted(join_result_set(acyclic_query))
+        samples = [sampler.sample().value for _ in range(1000)]
+        result = chi_square_uniformity(samples, population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_cyclic_join_uniformity(self, cyclic_query):
+        sampler = JoinSampler(cyclic_query, weights="ew", seed=13)
+        population = sorted(join_result_set(cyclic_query))
+        samples = [sampler.sample().value for _ in range(600)]
+        result = chi_square_uniformity(samples, population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_skewed_join_uniformity_with_eo(self):
+        """A value with much higher degree must not be oversampled under EO."""
+        from tests.conftest import make_chain_query
+
+        r_rows = [(i, 10) for i in range(6)] + [(100, 20)]
+        s_rows = [(10, 1000)] + [(20, 2000 + i) for i in range(8)]
+        query = make_chain_query("skewed", r_rows=r_rows, s_rows=s_rows)
+        sampler = JoinSampler(query, weights="eo", seed=17)
+        population = sorted(join_result_set(query))
+        samples = [sampler.sample().value for _ in range(1400)]
+        result = chi_square_uniformity(samples, population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+
+class TestRejectionAccounting:
+    def test_exact_weights_never_reject_on_weights(self, chain_query):
+        sampler = JoinSampler(chain_query, weights="ew", seed=5)
+        sampler.sample_many(100)
+        assert sampler.stats.rejected_weight == 0
+        assert sampler.stats.acceptance_rate == 1.0
+
+    def test_eo_acceptance_rate_close_to_size_over_bound(self, chain_query):
+        sampler = JoinSampler(chain_query, weights="eo", seed=5)
+        sampler.sample_many(400)
+        expected = 6.0 / sampler.size_bound
+        assert sampler.stats.acceptance_rate == pytest.approx(expected, rel=0.25)
+
+    def test_cyclic_rejections_counted_as_residual(self, cyclic_query):
+        sampler = JoinSampler(cyclic_query, weights="ew", seed=5)
+        sampler.sample_many(100)
+        assert sampler.stats.rejected_residual > 0
+
+
+class TestPredicateEnforcement:
+    def _query(self, push_down: bool) -> JoinQuery:
+        r = Relation("R", ["a", "b"], [(1, 10), (2, 10), (3, 10)])
+        s = Relation("S", ["b", "c"], [(10, 100), (10, 200)])
+        return JoinQuery(
+            "pred",
+            [r, s],
+            [JoinCondition("R", "b", "S", "b")],
+            [OutputAttribute.direct("R", "a"), OutputAttribute.direct("S", "c")],
+            predicates={"R": Comparison("a", "<=", 2)},
+            push_down_predicates=push_down,
+        )
+
+    def test_enforced_during_sampling_matches_pushed_down(self):
+        enforced = self._query(push_down=False)
+        pushed = self._query(push_down=True)
+        expected = join_result_set(pushed)
+        sampler = JoinSampler(enforced, weights="ew", seed=23, enforce_predicates=True)
+        seen = {sampler.sample().value for _ in range(300)}
+        assert seen == expected
+        assert sampler.stats.rejected_predicate > 0
+
+    def test_enforcement_disabled_samples_unfiltered_join(self):
+        enforced = self._query(push_down=False)
+        sampler = JoinSampler(enforced, weights="ew", seed=29, enforce_predicates=False)
+        seen = {sampler.sample().value for _ in range(300)}
+        assert (3, 100) in seen

@@ -1,0 +1,86 @@
+"""Tests for repro.joins.membership (the hash-probe membership check)."""
+
+import pytest
+
+from repro.joins.executor import join_result_set
+from repro.joins.membership import JoinMembershipProber, UnionMembershipIndex
+
+
+class TestJoinMembershipProber:
+    @pytest.mark.parametrize("fixture", ["chain_query", "acyclic_query", "cyclic_query"])
+    def test_agrees_with_executor_on_all_join_types(self, fixture, request):
+        query = request.getfixturevalue(fixture)
+        prober = JoinMembershipProber(query)
+        results = join_result_set(query)
+        for value in results:
+            assert prober.contains(value), f"{value} should be a member of {query.name}"
+
+    def test_rejects_values_not_in_join(self, chain_query):
+        prober = JoinMembershipProber(chain_query)
+        assert not prober.contains((1, 100, 999))
+        assert not prober.contains((42, 100, 7))
+
+    def test_rejects_value_with_wrong_width(self, chain_query):
+        prober = JoinMembershipProber(chain_query)
+        with pytest.raises(ValueError, match="fields"):
+            prober.contains((1, 100))
+
+    def test_cyclic_join_residual_enforced(self, cyclic_query):
+        prober = JoinMembershipProber(cyclic_query)
+        # (1, 3, 5) is producible by the skeleton but violates the cycle-closing
+        # condition (T row for c=5 has a=9, not 1).
+        assert not prober.contains((1, 3, 5))
+        assert prober.contains((1, 2, 4))
+
+    def test_count_containing(self, union_pair):
+        j1, j2 = union_pair
+        prober = JoinMembershipProber(j2)
+        values = list(join_result_set(j1))
+        assert prober.count_containing(values) == 2
+
+    def test_probe_counters_increase(self, chain_query):
+        prober = JoinMembershipProber(chain_query)
+        prober.contains((1, 100, 7))
+        prober.contains((1, 100, 7))
+        assert prober.probe_count == 2
+        assert prober.lookup_count >= 2
+
+
+class TestUnionMembershipIndex:
+    def test_owner_is_first_containing_join(self, union_triple):
+        index = UnionMembershipIndex(union_triple)
+        # (1, 100) is in all three joins -> owner is the first.
+        assert index.owner((1, 100)) == "J1"
+        # (3, 400) only in J2.
+        assert index.owner((3, 400)) == "J2"
+        # (5, 500) only in J3.
+        assert index.owner((5, 500)) == "J3"
+
+    def test_owner_none_for_foreign_value(self, union_triple):
+        index = UnionMembershipIndex(union_triple)
+        assert index.owner((123, 456)) is None
+
+    def test_containing_joins(self, union_triple):
+        index = UnionMembershipIndex(union_triple)
+        assert index.containing_joins((1, 100)) == ["J1", "J2", "J3"]
+        assert index.containing_joins((2, 300)) == ["J1", "J3"]
+
+    def test_contains_specific_join(self, union_pair):
+        index = UnionMembershipIndex(union_pair)
+        assert index.contains("J1", (2, 300))
+        assert not index.contains("J2", (2, 300))
+
+
+class TestExhaustiveAgreement:
+    def test_prober_matches_executor_over_candidate_space(self, union_pair):
+        """For every candidate value in the cross product of observed output
+        values, the prober must agree exactly with set membership of the
+        executed join."""
+        for query in union_pair:
+            results = join_result_set(query)
+            prober = JoinMembershipProber(query)
+            a_values = {v[0] for q in union_pair for v in join_result_set(q)}
+            c_values = {v[1] for q in union_pair for v in join_result_set(q)}
+            for a in a_values:
+                for c in c_values:
+                    assert prober.contains((a, c)) == ((a, c) in results)

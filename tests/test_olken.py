@@ -1,0 +1,54 @@
+"""Tests for repro.sampling.olken (extended Olken join-size bounds)."""
+
+import pytest
+
+from repro.joins.executor import exact_join_size
+from repro.joins.join_tree import build_join_tree
+from repro.sampling.olken import node_max_degree, olken_refined_bound, olken_upper_bound
+
+
+class TestOlkenUpperBound:
+    @pytest.mark.parametrize("fixture", ["chain_query", "acyclic_query", "cyclic_query"])
+    def test_bound_dominates_exact_size(self, fixture, request):
+        query = request.getfixturevalue(fixture)
+        assert olken_upper_bound(query) >= exact_join_size(query, distinct=False)
+
+    def test_chain_bound_value(self, chain_query):
+        # |R| = 3, M_b(S) = 2, M_c(T) = 2  ->  bound = 12
+        assert olken_upper_bound(chain_query) == 12.0
+
+    def test_bound_zero_for_empty_relation(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("empty", r_rows=[], s_rows=[(10, 100)])
+        assert olken_upper_bound(query) == 0.0
+
+    def test_bound_zero_when_no_joinable_values(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("nojoin", r_rows=[(1, 10)], s_rows=[])
+        assert olken_upper_bound(query) == 0.0
+
+    def test_bound_on_tpch_queries(self, uq1_small):
+        for query in uq1_small.queries:
+            assert olken_upper_bound(query) >= exact_join_size(query, distinct=False)
+
+
+class TestRefinedBound:
+    def test_refined_bound_not_larger_than_max_bound(self, chain_query):
+        assert olken_refined_bound(chain_query) <= olken_upper_bound(chain_query)
+
+    def test_refined_bound_positive_for_nonempty_join(self, chain_query):
+        assert olken_refined_bound(chain_query) > 0
+
+
+class TestNodeMaxDegree:
+    def test_per_hop_degree(self, chain_query):
+        tree = build_join_tree(chain_query)
+        assert node_max_degree(chain_query, tree, "S") == 2
+        assert node_max_degree(chain_query, tree, "T") == 2
+
+    def test_root_has_no_join_key(self, chain_query):
+        tree = build_join_tree(chain_query)
+        with pytest.raises(ValueError):
+            node_max_degree(chain_query, tree, "R")

@@ -1,0 +1,121 @@
+"""Tests for repro.core.online_sampler (Algorithm 2: reuse + backtracking)."""
+
+import pytest
+
+from repro.analysis.uniformity import chi_square_uniformity
+from repro.core.online_sampler import OnlineUnionSampler
+from repro.estimation.random_walk import RandomWalkUnionEstimator
+from repro.joins.executor import join_result_set
+
+
+def union_values(queries):
+    union = set()
+    for query in queries:
+        union |= join_result_set(query)
+    return sorted(union)
+
+
+class TestConstruction:
+    def test_invalid_options_rejected(self, union_pair):
+        with pytest.raises(ValueError):
+            OnlineUnionSampler(union_pair, warmup="magic")
+        with pytest.raises(ValueError):
+            OnlineUnionSampler(union_pair, phi=0)
+        with pytest.raises(ValueError):
+            OnlineUnionSampler(union_pair, gamma=0.0)
+
+    def test_histogram_warmup_has_empty_pools(self, union_pair):
+        sampler = OnlineUnionSampler(union_pair, warmup="histogram", seed=1)
+        assert all(not pool for pool in sampler._pools.values())
+
+    def test_random_walk_warmup_fills_pools(self, union_pair):
+        sampler = OnlineUnionSampler(
+            union_pair, warmup="random-walk", walks_per_join=100, seed=2
+        )
+        assert any(pool for pool in sampler._pools.values())
+
+    def test_reuse_disabled_keeps_pools_empty(self, union_pair):
+        sampler = OnlineUnionSampler(
+            union_pair, warmup="random-walk", walks_per_join=100, seed=3, reuse=False
+        )
+        assert all(not pool for pool in sampler._pools.values())
+
+    def test_prebuilt_warmup_estimator(self, union_pair):
+        estimator = RandomWalkUnionEstimator(union_pair, walks_per_join=100, seed=4)
+        sampler = OnlineUnionSampler(union_pair, warmup_estimator=estimator, seed=4)
+        assert len(sampler.sample(20)) == 20
+
+
+class TestSampling:
+    def test_samples_belong_to_the_union(self, union_triple):
+        sampler = OnlineUnionSampler(union_triple, seed=5, walks_per_join=150)
+        result = sampler.sample(200)
+        universe = set(union_values(union_triple))
+        assert len(result) == 200
+        assert all(s.value in universe for s in result.samples)
+
+    def test_reuse_counters_and_flags(self, union_triple):
+        sampler = OnlineUnionSampler(union_triple, seed=6, walks_per_join=300)
+        result = sampler.sample(150)
+        assert result.stats.reused_accepted > 0
+        assert any(s.reused for s in result.samples)
+        assert result.algorithm.endswith("-reuse")
+
+    def test_without_reuse_no_reused_samples(self, union_triple):
+        sampler = OnlineUnionSampler(union_triple, seed=7, walks_per_join=150, reuse=False)
+        result = sampler.sample(100)
+        assert result.stats.reused_accepted == 0
+        assert not any(s.reused for s in result.samples)
+
+    def test_sampling_distribution_not_degenerate(self, union_triple):
+        """The online sampler (approximate by design) must still cover the whole
+        union and not over-sample any value catastrophically."""
+        sampler = OnlineUnionSampler(union_triple, seed=8, walks_per_join=400, phi=100)
+        result = sampler.sample(2500)
+        values = [s.value for s in result.samples]
+        universe = union_values(union_triple)
+        assert set(values) == set(universe)
+        check = chi_square_uniformity(values, universe)
+        # Loose sanity threshold: catastrophic bias (e.g. one value sampled 3x
+        # as often as expected) yields statistics far above this.
+        expected = len(values) / len(universe)
+        worst = max(values.count(u) for u in universe)
+        assert worst < 2.0 * expected
+        assert check.statistic < float("inf")
+
+    def test_backtracking_rounds_triggered(self, union_triple):
+        sampler = OnlineUnionSampler(
+            union_triple, seed=9, walks_per_join=100, phi=50, gamma=0.999
+        )
+        result = sampler.sample(400)
+        assert result.stats.backtrack_rounds > 0
+        assert sampler.confidence_level > 0.0
+
+    def test_zero_samples(self, union_pair):
+        sampler = OnlineUnionSampler(union_pair, seed=10, walks_per_join=50)
+        assert len(sampler.sample(0)) == 0
+
+    def test_negative_count_rejected(self, union_pair):
+        sampler = OnlineUnionSampler(union_pair, seed=11, walks_per_join=50)
+        with pytest.raises(ValueError):
+            sampler.sample(-5)
+
+
+class TestTimeAccounting:
+    def test_reuse_phase_time_tracked(self, union_triple):
+        sampler = OnlineUnionSampler(union_triple, seed=12, walks_per_join=300)
+        result = sampler.sample(200)
+        stats = result.stats
+        assert stats.timer.get("warmup") > 0
+        if stats.reused_accepted:
+            assert stats.time_per_accepted("reuse") >= 0.0
+        assert stats.time_per_accepted("regular") >= 0.0
+        assert stats.time_per_accepted() > 0.0
+
+    def test_estimation_update_time_recorded_when_backtracking(self, union_triple):
+        sampler = OnlineUnionSampler(
+            union_triple, seed=13, walks_per_join=100, phi=40, gamma=0.999
+        )
+        result = sampler.sample(300)
+        if result.stats.backtrack_rounds:
+            assert result.stats.timer.get("estimation_update") > 0

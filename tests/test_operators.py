@@ -1,0 +1,97 @@
+"""Tests for repro.relational.operators (ground-truth physical operators)."""
+
+import pytest
+
+from repro.relational.operators import (
+    difference,
+    disjoint_union,
+    hash_join,
+    intersection,
+    natural_join,
+    projection,
+    selection,
+    set_union,
+)
+from repro.relational.predicates import Comparison
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def left() -> Relation:
+    return Relation("L", ["a", "b"], [(1, 10), (2, 20), (3, 10)])
+
+
+@pytest.fixture
+def right() -> Relation:
+    return Relation("R", ["b", "c"], [(10, "x"), (10, "y"), (30, "z")])
+
+
+class TestHashJoin:
+    def test_join_produces_matching_pairs(self, left, right):
+        joined = hash_join(left, right, "b", "b")
+        # rows with b=10 on both sides: (1,10) and (3,10) each join 2 right rows.
+        assert len(joined) == 4
+        assert set(joined.schema.names) >= {"a", "b", "c"}
+
+    def test_join_no_matches(self, left):
+        empty_right = Relation("R", ["b", "c"], [(99, "x")])
+        assert len(hash_join(left, empty_right, "b", "b")) == 0
+
+    def test_name_clash_renamed(self, left):
+        other = Relation("other", ["a", "b"], [(1, 10)])
+        joined = hash_join(left, other, "b", "b")
+        assert "other.a" in joined.schema.names
+        assert "other.b" in joined.schema.names
+
+    def test_natural_join_on_shared_attribute(self, left, right):
+        joined = natural_join(left, right)
+        assert len(joined) == 4
+        assert joined.schema.names == ("a", "b", "c")
+
+    def test_natural_join_requires_common_attribute(self, left):
+        other = Relation("o", ["z"], [(1,)])
+        with pytest.raises(ValueError):
+            natural_join(left, other)
+
+
+class TestSelectionProjection:
+    def test_selection(self, left):
+        assert len(selection(left, Comparison("b", "==", 10))) == 2
+
+    def test_projection_keeps_duplicates(self, left):
+        projected = projection(left, ["b"])
+        assert len(projected) == 3
+        assert projected.schema.names == ("b",)
+
+
+class TestSetOperations:
+    def make(self, name, rows):
+        return Relation(name, ["a", "b"], rows)
+
+    def test_set_union_removes_duplicates(self):
+        u = set_union([self.make("x", [(1, 1), (2, 2)]), self.make("y", [(2, 2), (3, 3)])])
+        assert sorted(u.rows) == [(1, 1), (2, 2), (3, 3)]
+
+    def test_disjoint_union_keeps_duplicates(self):
+        u = disjoint_union([self.make("x", [(1, 1)]), self.make("y", [(1, 1)])])
+        assert len(u) == 2
+
+    def test_intersection(self):
+        i = intersection([self.make("x", [(1, 1), (2, 2)]), self.make("y", [(2, 2)])])
+        assert i.rows == [(2, 2)]
+
+    def test_intersection_empty_when_disjoint(self):
+        i = intersection([self.make("x", [(1, 1)]), self.make("y", [(2, 2)])])
+        assert len(i) == 0
+
+    def test_difference(self):
+        d = difference(self.make("x", [(1, 1), (2, 2)]), self.make("y", [(2, 2)]))
+        assert d.rows == [(1, 1)]
+
+    def test_union_requires_aligned_schemas(self):
+        with pytest.raises(ValueError, match="union-compatible"):
+            set_union([self.make("x", [(1, 1)]), Relation("y", ["z", "w"], [(1, 1)])])
+
+    def test_set_union_deduplicates_within_single_input(self):
+        u = set_union([self.make("x", [(1, 1), (1, 1)])])
+        assert len(u) == 1

@@ -1,0 +1,93 @@
+"""Tests for repro.estimation.parameters (UnionParameters)."""
+
+import pytest
+
+from repro.estimation.parameters import UnionParameters
+
+
+def make_parameters(**overrides):
+    defaults = dict(
+        join_order=["J1", "J2"],
+        join_sizes={"J1": 6.0, "J2": 4.0},
+        cover_sizes={"J1": 6.0, "J2": 2.0},
+        union_size=8.0,
+        overlaps={frozenset(["J1", "J2"]): 2.0},
+        method="test",
+    )
+    defaults.update(overrides)
+    return UnionParameters(**defaults)
+
+
+class TestValidation:
+    def test_missing_join_size_rejected(self):
+        with pytest.raises(ValueError, match="join_sizes"):
+            make_parameters(join_sizes={"J1": 6.0})
+
+    def test_missing_cover_size_rejected(self):
+        with pytest.raises(ValueError, match="cover_sizes"):
+            make_parameters(cover_sizes={"J1": 6.0})
+
+    def test_negative_union_rejected(self):
+        with pytest.raises(ValueError):
+            make_parameters(union_size=-1.0)
+
+
+class TestViews:
+    def test_basic_lookups(self):
+        params = make_parameters()
+        assert params.join_size("J2") == 4.0
+        assert params.cover_size("J2") == 2.0
+        assert params.overlap(["J1", "J2"]) == 2.0
+        assert params.overlap(["J1"]) == 6.0
+        assert params.overlap(["J2", "J1"]) == 2.0  # order-insensitive
+
+    def test_unknown_overlap_defaults_to_zero(self):
+        params = make_parameters()
+        assert params.overlap(["J1", "J3"]) == 0.0
+
+    def test_join_to_union_ratio(self):
+        params = make_parameters()
+        assert params.join_to_union_ratio("J1") == pytest.approx(0.75)
+        zero = make_parameters(union_size=0.0)
+        assert zero.join_to_union_ratio("J1") == 0.0
+
+    def test_disjoint_union_size(self):
+        assert make_parameters().disjoint_union_size() == 10.0
+
+
+class TestSelectionProbabilities:
+    def test_cover_based_probabilities(self):
+        probs = make_parameters().selection_probabilities(use_cover=True)
+        assert probs["J1"] == pytest.approx(0.75)
+        assert probs["J2"] == pytest.approx(0.25)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_size_based_probabilities(self):
+        probs = make_parameters().selection_probabilities(use_cover=False)
+        assert probs["J1"] == pytest.approx(0.6)
+
+    def test_degenerate_all_zero_weights_fall_back_to_uniform(self):
+        params = make_parameters(cover_sizes={"J1": 0.0, "J2": 0.0})
+        probs = params.selection_probabilities(use_cover=True)
+        assert probs["J1"] == pytest.approx(0.5)
+        assert probs["J2"] == pytest.approx(0.5)
+
+    def test_negative_weights_clamped(self):
+        params = make_parameters(cover_sizes={"J1": 5.0, "J2": -3.0})
+        probs = params.selection_probabilities(use_cover=True)
+        assert probs["J2"] == 0.0
+        assert probs["J1"] == pytest.approx(1.0)
+
+
+class TestDiagnostics:
+    def test_ratio_errors_against_exact(self):
+        estimated = make_parameters(union_size=10.0)
+        exact = make_parameters()
+        errors = estimated.ratio_errors(exact)
+        assert errors["J1"] == pytest.approx(abs(6.0 / 10.0 - 6.0 / 8.0))
+
+    def test_describe_contains_key_fields(self):
+        summary = make_parameters().describe()
+        assert summary["method"] == "test"
+        assert summary["union_size"] == 8.0
+        assert summary["disjoint_union_size"] == 10.0

@@ -1,0 +1,88 @@
+"""Tests for repro.relational.predicates."""
+
+import pytest
+
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    TruePredicate,
+    selectivity,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Schema
+
+
+SCHEMA = Schema(["age", "city"])
+ROW = (30, "rome")
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("==", 30, True),
+            ("!=", 30, False),
+            ("<", 40, True),
+            ("<=", 30, True),
+            (">", 30, False),
+            (">=", 31, False),
+        ],
+    )
+    def test_operators(self, op, value, expected):
+        assert Comparison("age", op, value).evaluate(ROW, SCHEMA) is expected
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("age", "~", 1)
+
+    def test_attributes(self):
+        assert Comparison("age", "<", 5).attributes() == ("age",)
+
+
+class TestOtherPredicates:
+    def test_in_set(self):
+        assert InSet("city", ["rome", "oslo"]).evaluate(ROW, SCHEMA)
+        assert not InSet("city", ["lima"]).evaluate(ROW, SCHEMA)
+
+    def test_between_inclusive(self):
+        assert Between("age", 30, 40).evaluate(ROW, SCHEMA)
+        assert Between("age", 20, 30).evaluate(ROW, SCHEMA)
+        assert not Between("age", 31, 40).evaluate(ROW, SCHEMA)
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(ROW, SCHEMA)
+        assert TruePredicate().attributes() == ()
+
+    def test_not(self):
+        assert Not(Comparison("age", ">", 100)).evaluate(ROW, SCHEMA)
+
+
+class TestComposition:
+    def test_and_or_via_operators(self):
+        p = Comparison("age", ">=", 18) & InSet("city", ["rome"])
+        q = Comparison("age", ">", 100) | InSet("city", ["rome"])
+        assert p.evaluate(ROW, SCHEMA)
+        assert q.evaluate(ROW, SCHEMA)
+        assert (~p).evaluate(ROW, SCHEMA) is False
+
+    def test_composite_attributes_deduplicated(self):
+        p = And([Comparison("age", ">", 1), Comparison("age", "<", 99), InSet("city", ["x"])])
+        assert p.attributes() == ("age", "city")
+
+    def test_or_false_when_all_children_false(self):
+        p = Or([Comparison("age", ">", 100), Comparison("city", "==", "lima")])
+        assert not p.evaluate(ROW, SCHEMA)
+
+
+class TestSelectivity:
+    def test_selectivity_fraction(self):
+        rel = Relation("r", ["age", "city"], [(10, "a"), (20, "a"), (30, "b"), (40, "b")])
+        assert selectivity(Comparison("age", ">=", 30), rel) == 0.5
+
+    def test_selectivity_empty_relation(self):
+        rel = Relation("r", ["age", "city"], [])
+        assert selectivity(TruePredicate(), rel) == 0.0

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These tests generate random relations, random overlapping set systems, and
+random two-hop joins, and check the library's structural invariants against
+brute-force computations:
+
+* hash indexes and column statistics agree with naive counting;
+* the k-overlap calculus (Theorem 3 + Eq. 1) reproduces exact union sizes for
+  arbitrary set systems, and cover sizes always sum to the union size;
+* Olken / exact-weight totals bound / equal brute-force join sizes;
+* the membership prober agrees with the executed join on every candidate value.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimation.union_size import (
+    compute_all_overlaps,
+    compute_k_overlaps,
+    cover_sizes_from_overlaps,
+    union_size_from_k_overlaps,
+)
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.joins.executor import exact_join_size, join_result_set
+from repro.joins.membership import JoinMembershipProber
+from repro.joins.query import JoinQuery
+from repro.relational.index import HashIndex
+from repro.relational.relation import Relation
+from repro.relational.statistics import ColumnStatistics
+from repro.sampling.olken import olken_upper_bound
+from repro.sampling.weights import ExactWeightFunction, ExtendedOlkenWeightFunction
+
+
+# --------------------------------------------------------------------- strategies
+small_values = st.integers(min_value=0, max_value=6)
+value_lists = st.lists(small_values, min_size=0, max_size=40)
+
+set_systems = st.lists(
+    st.frozensets(st.integers(min_value=0, max_value=12), max_size=10),
+    min_size=1,
+    max_size=5,
+)
+
+
+def two_relation_queries():
+    """Random R(a, b) ⋈ S(b, c) joins with small value domains."""
+    rows_r = st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 4)), min_size=0, max_size=15
+    )
+    rows_s = st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 8)), min_size=0, max_size=15
+    )
+    return st.tuples(rows_r, rows_s).map(_build_two_relation_query)
+
+
+def _build_two_relation_query(rows):
+    rows_r, rows_s = rows
+    r = Relation("R", ["a", "b"], rows_r)
+    s = Relation("S", ["b", "c"], rows_s)
+    return JoinQuery(
+        "hyp",
+        [r, s],
+        [JoinCondition("R", "b", "S", "b")],
+        [
+            OutputAttribute.direct("R", "a"),
+            OutputAttribute.direct("R", "b"),
+            OutputAttribute.direct("S", "c"),
+        ],
+    )
+
+
+# ------------------------------------------------------------------------- indexes
+class TestIndexAndStatisticsProperties:
+    @given(values=value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_hash_index_matches_naive_counts(self, values):
+        index = HashIndex.build(values, "a")
+        counter = Counter(values)
+        for value, count in counter.items():
+            assert index.degree(value) == count
+            assert [values[p] for p in index.positions(value)] == [value] * count
+        assert index.total_rows == len(values)
+        assert index.max_degree == (max(counter.values()) if counter else 0)
+
+    @given(values=value_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_column_statistics_match_naive_counts(self, values):
+        stats = ColumnStatistics.from_values("a", values)
+        counter = Counter(values)
+        assert stats.row_count == len(values)
+        assert stats.distinct_count == len(counter)
+        for value, count in counter.items():
+            assert stats.degree(value) == count
+        if counter:
+            assert stats.max_degree == max(counter.values())
+            assert stats.average_degree == pytest.approx(len(values) / len(counter))
+
+
+# --------------------------------------------------------------------- set calculus
+class TestUnionCalculusProperties:
+    @given(sets=set_systems)
+    @settings(max_examples=150, deadline=None)
+    def test_theorem3_union_size_matches_brute_force(self, sets):
+        names = [f"J{i}" for i in range(len(sets))]
+        by_name = dict(zip(names, sets))
+
+        def overlap_of(subset):
+            members = [by_name[name] for name in subset]
+            return float(len(frozenset.intersection(*members)))
+
+        overlaps = compute_all_overlaps(names, overlap_of)
+        areas = compute_k_overlaps(names, overlaps)
+        union = union_size_from_k_overlaps(areas)
+        expected = len(frozenset.union(*sets)) if sets else 0
+        assert union == pytest.approx(expected)
+
+    @given(sets=set_systems)
+    @settings(max_examples=150, deadline=None)
+    def test_k_overlaps_partition_each_set(self, sets):
+        names = [f"J{i}" for i in range(len(sets))]
+        by_name = dict(zip(names, sets))
+
+        def overlap_of(subset):
+            members = [by_name[name] for name in subset]
+            return float(len(frozenset.intersection(*members)))
+
+        overlaps = compute_all_overlaps(names, overlap_of)
+        areas = compute_k_overlaps(names, overlaps)
+        for name in names:
+            assert sum(areas[name].values()) == pytest.approx(len(by_name[name]))
+            assert all(v >= 0 for v in areas[name].values())
+
+    @given(sets=set_systems)
+    @settings(max_examples=150, deadline=None)
+    def test_cover_sizes_sum_to_union_and_match_sequential_difference(self, sets):
+        names = [f"J{i}" for i in range(len(sets))]
+        by_name = dict(zip(names, sets))
+
+        def overlap_of(subset):
+            members = [by_name[name] for name in subset]
+            return float(len(frozenset.intersection(*members)))
+
+        overlaps = compute_all_overlaps(names, overlap_of)
+        covers = cover_sizes_from_overlaps(names, overlaps)
+        union = frozenset.union(*sets)
+        assert sum(covers.values()) == pytest.approx(len(union))
+        seen: set = set()
+        for name in names:
+            expected = len(set(by_name[name]) - seen)
+            assert covers[name] == pytest.approx(expected)
+            seen |= set(by_name[name])
+
+
+# -------------------------------------------------------------------------- joins
+class TestJoinProperties:
+    @given(query=two_relation_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_olken_bound_dominates_exact_size(self, query):
+        assert olken_upper_bound(query) >= exact_join_size(query, distinct=False)
+
+    @given(query=two_relation_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_weight_total_equals_brute_force_size(self, query):
+        ew = ExactWeightFunction(query)
+        assert ew.total_weight == exact_join_size(query, distinct=False)
+
+    @given(query=two_relation_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_eo_total_dominates_ew_total(self, query):
+        eo = ExtendedOlkenWeightFunction(query)
+        ew = ExactWeightFunction(query)
+        assert eo.total_weight >= ew.total_weight
+
+    @given(query=two_relation_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_membership_prober_agrees_with_executor(self, query):
+        results = join_result_set(query)
+        prober = JoinMembershipProber(query)
+        for value in results:
+            assert prober.contains(value)
+        # Values just outside the join (perturbed c) must be rejected.
+        for value in list(results)[:10]:
+            perturbed = (value[0], value[1], value[2] + 100)
+            assert not prober.contains(perturbed)

@@ -1,0 +1,65 @@
+"""Sanity checks on the public package surface (`import repro`)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_docstring_quickstart_runs(self):
+        """The module docstring's quickstart snippet must stay executable."""
+        workload = repro.build_uq1(scale_factor=0.0005, overlap_scale=0.3, seed=7)
+        estimator = repro.HistogramUnionEstimator(workload.queries, join_size_method="ew")
+        sampler = repro.SetUnionSampler(workload.queries, estimator, seed=7)
+        assert len(sampler.sample(20)) == 20
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.relational",
+            "repro.joins",
+            "repro.sampling",
+            "repro.estimation",
+            "repro.core",
+            "repro.tpch",
+            "repro.analysis",
+            "repro.experiments",
+            "repro.utils",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable_and_documented(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} is missing a module docstring"
+
+    def test_main_module_exposes_cli(self):
+        main_module = importlib.import_module("repro.__main__")
+        assert callable(main_module.main)
+
+    def test_public_classes_have_docstrings(self):
+        for name in (
+            "SetUnionSampler",
+            "OnlineUnionSampler",
+            "BernoulliUnionSampler",
+            "DisjointUnionSampler",
+            "HistogramUnionEstimator",
+            "RandomWalkUnionEstimator",
+            "FullJoinUnionEstimator",
+            "JoinSampler",
+            "WanderJoin",
+            "JoinQuery",
+            "Relation",
+        ):
+            assert getattr(repro, name).__doc__, f"{name} is missing a docstring"

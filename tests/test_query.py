@@ -1,0 +1,181 @@
+"""Tests for repro.joins.query and repro.joins.conditions."""
+
+import pytest
+
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.joins.query import JoinQuery, JoinType, check_union_compatible
+from repro.relational.predicates import Comparison
+from repro.relational.relation import Relation
+
+
+class TestJoinCondition:
+    def test_basic_accessors(self):
+        cond = JoinCondition("R", "b", "S", "b2")
+        assert cond.relations() == ("R", "S")
+        assert cond.touches("R") and not cond.touches("T")
+        assert cond.attribute_for("S") == "b2"
+        assert cond.other("R") == ("S", "b2")
+
+    def test_reversed(self):
+        cond = JoinCondition("R", "x", "S", "y").reversed()
+        assert cond.left_relation == "S" and cond.right_attribute == "x"
+
+    def test_rejects_same_relation_both_sides(self):
+        with pytest.raises(ValueError):
+            JoinCondition("R", "a", "R", "b")
+
+    def test_attribute_for_unknown_relation(self):
+        with pytest.raises(KeyError):
+            JoinCondition("R", "a", "S", "b").attribute_for("T")
+
+    def test_output_attribute_direct(self):
+        out = OutputAttribute.direct("R", "a")
+        assert out.name == "a" and out.relation == "R" and out.attribute == "a"
+
+
+class TestJoinQueryValidation:
+    def r(self):
+        return Relation("R", ["a", "b"], [(1, 10)])
+
+    def s(self):
+        return Relation("S", ["b", "c"], [(10, 100)])
+
+    def test_requires_name_and_relations(self):
+        with pytest.raises(ValueError):
+            JoinQuery("", [self.r()], [], [OutputAttribute.direct("R", "a")])
+        with pytest.raises(ValueError):
+            JoinQuery("q", [], [], [])
+
+    def test_rejects_duplicate_relation_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            JoinQuery("q", [self.r(), self.r()], [], [OutputAttribute.direct("R", "a")])
+
+    def test_rejects_condition_with_unknown_relation(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            JoinQuery(
+                "q",
+                [self.r(), self.s()],
+                [JoinCondition("R", "b", "T", "b")],
+                [OutputAttribute.direct("R", "a")],
+            )
+
+    def test_rejects_condition_with_unknown_attribute(self):
+        with pytest.raises(ValueError, match="not in"):
+            JoinQuery(
+                "q",
+                [self.r(), self.s()],
+                [JoinCondition("R", "zzz", "S", "b")],
+                [OutputAttribute.direct("R", "a")],
+            )
+
+    def test_rejects_missing_output_attributes(self):
+        with pytest.raises(ValueError, match="no output attributes"):
+            JoinQuery("q", [self.r()], [], [])
+
+    def test_rejects_duplicate_output_names(self):
+        with pytest.raises(ValueError, match="duplicate output"):
+            JoinQuery(
+                "q",
+                [self.r()],
+                [],
+                [OutputAttribute.direct("R", "a"), OutputAttribute("a", "R", "b")],
+            )
+
+    def test_rejects_output_from_unknown_relation(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            JoinQuery("q", [self.r()], [], [OutputAttribute.direct("X", "a")])
+
+    def test_rejects_multi_relation_query_without_conditions(self):
+        with pytest.raises(ValueError, match="no join conditions"):
+            JoinQuery("q", [self.r(), self.s()], [], [OutputAttribute.direct("R", "a")])
+
+    def test_rejects_disconnected_join_graph(self):
+        t = Relation("T", ["c", "d"], [(1, 2)])
+        u = Relation("U", ["d", "e"], [(2, 3)])
+        query = JoinQuery(
+            "q",
+            [self.r(), self.s(), t, u],
+            [JoinCondition("R", "b", "S", "b"), JoinCondition("T", "d", "U", "d")],
+            [OutputAttribute.direct("R", "a")],
+        )
+        with pytest.raises(ValueError, match="disconnected"):
+            _ = query.join_type
+
+
+class TestClassification:
+    def test_single_relation_is_chain(self):
+        query = JoinQuery(
+            "q",
+            [Relation("R", ["a"], [(1,)])],
+            [],
+            [OutputAttribute.direct("R", "a")],
+        )
+        assert query.join_type is JoinType.CHAIN
+
+    def test_chain(self, chain_query):
+        assert chain_query.join_type is JoinType.CHAIN
+        assert chain_query.is_chain and not chain_query.is_cyclic
+
+    def test_acyclic(self, acyclic_query):
+        assert acyclic_query.join_type is JoinType.ACYCLIC
+
+    def test_cyclic(self, cyclic_query):
+        assert cyclic_query.join_type is JoinType.CYCLIC
+        assert cyclic_query.is_cyclic
+
+
+class TestPredicatesAndProjection:
+    def test_push_down_filters_relation(self):
+        r = Relation("R", ["a", "b"], [(1, 10), (2, 20)])
+        s = Relation("S", ["b", "c"], [(10, 100), (20, 200)])
+        query = JoinQuery(
+            "q",
+            [r, s],
+            [JoinCondition("R", "b", "S", "b")],
+            [OutputAttribute.direct("R", "a"), OutputAttribute.direct("S", "c")],
+            predicates={"R": Comparison("a", "==", 1)},
+        )
+        assert len(query.relation("R")) == 1
+        # The original relation object is untouched.
+        assert len(r) == 2
+
+    def test_no_push_down_keeps_rows(self):
+        r = Relation("R", ["a", "b"], [(1, 10), (2, 20)])
+        s = Relation("S", ["b", "c"], [(10, 100), (20, 200)])
+        query = JoinQuery(
+            "q",
+            [r, s],
+            [JoinCondition("R", "b", "S", "b")],
+            [OutputAttribute.direct("R", "a"), OutputAttribute.direct("S", "c")],
+            predicates={"R": Comparison("a", "==", 1)},
+            push_down_predicates=False,
+        )
+        assert len(query.relation("R")) == 2
+
+    def test_project_assignment(self, chain_query):
+        value = chain_query.project_assignment({"R": 0, "S": 0, "T": 0})
+        assert value == (1, 100, 7)
+
+    def test_output_schema_and_sources(self, chain_query):
+        assert chain_query.output_schema == ("a", "c", "d")
+        assert chain_query.output_sources()["c"] == ("S", "c")
+
+
+class TestUnionCompatibility:
+    def test_aligns_with(self, union_pair):
+        assert union_pair[0].aligns_with(union_pair[1])
+
+    def test_check_union_compatible_passes(self, union_triple):
+        check_union_compatible(union_triple)
+
+    def test_check_union_compatible_rejects_schema_mismatch(self, union_pair, chain_query):
+        with pytest.raises(ValueError, match="not union-compatible"):
+            check_union_compatible([union_pair[0], chain_query])
+
+    def test_check_union_compatible_rejects_duplicate_names(self, union_pair):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_union_compatible([union_pair[0], union_pair[0]])
+
+    def test_check_union_compatible_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_union_compatible([])

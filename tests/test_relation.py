@@ -1,0 +1,137 @@
+"""Tests for repro.relational.relation."""
+
+import numpy as np
+import pytest
+
+from repro.relational.predicates import Comparison
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, Schema
+
+
+@pytest.fixture
+def people() -> Relation:
+    return Relation(
+        "people",
+        [Attribute("id"), Attribute("age"), Attribute("city", "str")],
+        [(1, 30, "rome"), (2, 25, "oslo"), (3, 30, "rome"), (4, 40, "lima")],
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Relation("", ["a"], [])
+
+    def test_rejects_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="fields"):
+            Relation("r", ["a", "b"], [(1,)])
+
+    def test_from_dicts(self):
+        rel = Relation.from_dicts("r", ["a", "b"], [{"a": 1, "b": 2}, {"b": 4, "a": 3}])
+        assert rel.rows == [(1, 2), (3, 4)]
+
+    def test_from_columns(self):
+        rel = Relation.from_columns("r", {"a": [1, 2], "b": [3, 4]})
+        assert rel.rows == [(1, 3), (2, 4)]
+
+    def test_from_columns_unequal_lengths(self):
+        with pytest.raises(ValueError, match="unequal"):
+            Relation.from_columns("r", {"a": [1], "b": [1, 2]})
+
+    def test_from_columns_requires_columns(self):
+        with pytest.raises(ValueError):
+            Relation.from_columns("r", {})
+
+
+class TestAccess:
+    def test_len_iter_getitem(self, people):
+        assert len(people) == 4
+        assert people[0] == (1, 30, "rome")
+        assert list(people)[-1] == (4, 40, "lima")
+
+    def test_column_and_value(self, people):
+        assert people.column("age") == [30, 25, 30, 40]
+        assert people.value(2, "city") == "rome"
+
+    def test_project_row(self, people):
+        assert people.project_row(1, ["city", "id"]) == ("oslo", 2)
+
+    def test_sample_row_uniform_support(self, people):
+        rng = np.random.default_rng(0)
+        seen = {people.sample_row(rng) for _ in range(200)}
+        assert seen == set(people.rows)
+
+    def test_sample_row_empty_raises(self):
+        with pytest.raises(ValueError):
+            Relation("r", ["a"], []).sample_row(np.random.default_rng(0))
+
+
+class TestMutation:
+    def test_append_and_extend(self):
+        rel = Relation("r", ["a"], [(1,)])
+        rel.append((2,))
+        rel.extend([(3,), (4,)])
+        assert len(rel) == 4
+
+    def test_append_invalidates_indexes_and_statistics(self):
+        rel = Relation("r", ["a"], [(1,)])
+        assert rel.index_on("a").degree(1) == 1
+        assert rel.max_degree("a") == 1
+        rel.append((1,))
+        assert rel.index_on("a").degree(1) == 2
+        assert rel.max_degree("a") == 2
+
+    def test_append_checks_width(self):
+        rel = Relation("r", ["a"], [])
+        with pytest.raises(ValueError):
+            rel.append((1, 2))
+
+
+class TestIndexesAndStatistics:
+    def test_index_on_caches_and_answers(self, people):
+        idx = people.index_on("age")
+        assert idx.positions(30) == [0, 2]
+        assert people.index_on("age") is idx
+
+    def test_index_on_columns_composite(self, people):
+        idx = people.index_on_columns(["age", "city"])
+        assert idx.positions((30, "rome")) == [0, 2]
+        assert idx.positions((30, "oslo")) == []
+
+    def test_index_on_columns_single_delegates(self, people):
+        assert people.index_on_columns(["age"]) is people.index_on("age")
+
+    def test_degree_and_max_degree(self, people):
+        assert people.degree("city", "rome") == 2
+        assert people.degree("city", "nowhere") == 0
+        assert people.max_degree("city") == 2
+
+    def test_statistics_on_columns(self, people):
+        stats = people.statistics_on_columns(["age", "city"])
+        assert stats.degree((30, "rome")) == 2
+        assert stats.max_degree == 2
+
+
+class TestDerivations:
+    def test_project_keeps_duplicates(self, people):
+        projected = people.project(["city"])
+        assert len(projected) == 4
+        assert projected.column("city").count("rome") == 2
+
+    def test_select_with_predicate_object(self, people):
+        young = people.select(Comparison("age", "<", 35))
+        assert len(young) == 3
+
+    def test_select_with_callable(self, people):
+        rome = people.select(lambda row, schema: row[schema.position("city")] == "rome")
+        assert len(rome) == 2
+
+    def test_rename(self, people):
+        renamed = people.rename({"id": "person_id"}, name="p2")
+        assert renamed.name == "p2"
+        assert "person_id" in renamed.schema
+        assert renamed.rows == people.rows
+
+    def test_distinct(self):
+        rel = Relation("r", ["a"], [(1,), (2,), (1,)])
+        assert rel.distinct().rows == [(1,), (2,)]

@@ -1,0 +1,91 @@
+"""Tests for repro.core.result (SamplingStats and SampleResult)."""
+
+import pytest
+
+from repro.core.result import SampleResult, SamplingStats, UnionSample
+from repro.estimation.parameters import UnionParameters
+
+
+def make_parameters():
+    return UnionParameters(
+        join_order=["J1", "J2"],
+        join_sizes={"J1": 5.0, "J2": 5.0},
+        cover_sizes={"J1": 5.0, "J2": 3.0},
+        union_size=8.0,
+    )
+
+
+class TestSamplingStats:
+    def test_record_draw_and_totals(self):
+        stats = SamplingStats()
+        stats.record_draw("J1")
+        stats.record_draw("J1")
+        stats.record_draw("J2")
+        assert stats.draws_per_join == {"J1": 2, "J2": 1}
+        assert stats.total_draws == 3
+
+    def test_acceptance_rate(self):
+        stats = SamplingStats(iterations=10, accepted=4)
+        assert stats.acceptance_rate == 0.4
+        assert SamplingStats().acceptance_rate == 0.0
+
+    def test_breakdown_phases(self):
+        stats = SamplingStats()
+        stats.timer.add("warmup", 1.0)
+        stats.timer.add("estimation_update", 0.5)
+        stats.timer.add("accepted", 2.0)
+        stats.timer.add("rejected", 0.25)
+        breakdown = stats.breakdown()
+        assert breakdown["estimation"] == pytest.approx(1.5)
+        assert breakdown["accepted"] == pytest.approx(2.0)
+        assert breakdown["rejected"] == pytest.approx(0.25)
+        assert stats.warmup_seconds == 1.0
+        assert stats.sampling_seconds == pytest.approx(2.25)
+        assert stats.total_seconds == pytest.approx(3.75)
+
+    def test_time_per_accepted_phases(self):
+        stats = SamplingStats(accepted=10, reused_accepted=4)
+        stats.timer.add("accepted", 2.0)
+        stats.timer.add("reuse_accepted", 0.4)
+        assert stats.time_per_accepted() == pytest.approx(0.2)
+        assert stats.time_per_accepted("reuse") == pytest.approx(0.1)
+        assert stats.time_per_accepted("regular") == pytest.approx(1.6 / 6)
+
+    def test_time_per_accepted_zero_denominator(self):
+        assert SamplingStats().time_per_accepted() == 0.0
+        assert SamplingStats().time_per_accepted("reuse") == 0.0
+
+    def test_time_per_accepted_invalid_phase(self):
+        with pytest.raises(ValueError):
+            SamplingStats().time_per_accepted("warp")
+
+    def test_describe_round_trip(self):
+        stats = SamplingStats(iterations=3, accepted=2, rejected_duplicate=1)
+        summary = stats.describe()
+        assert summary["iterations"] == 3
+        assert summary["accepted"] == 2
+
+
+class TestSampleResult:
+    def _result(self):
+        samples = [
+            UnionSample((1, "a"), "J1", 1),
+            UnionSample((2, "b"), "J2", 2),
+            UnionSample((1, "a"), "J1", 3),
+        ]
+        return SampleResult(samples, make_parameters(), SamplingStats(), algorithm="test")
+
+    def test_values_and_distinct(self):
+        result = self._result()
+        assert result.values() == [(1, "a"), (2, "b"), (1, "a")]
+        assert result.distinct_values() == [(1, "a"), (2, "b")]
+        assert len(result) == 3
+
+    def test_sources(self):
+        assert self._result().sources() == {"J1": 2, "J2": 1}
+
+    def test_describe(self):
+        summary = self._result().describe()
+        assert summary["algorithm"] == "test"
+        assert summary["samples"] == 3
+        assert "parameters" in summary and "stats" in summary

@@ -1,0 +1,85 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.schema import ATTRIBUTE_TYPES, Attribute, Schema
+
+
+class TestAttribute:
+    def test_default_dtype_is_int(self):
+        assert Attribute("x").dtype == "int"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            Attribute("x", "decimal")
+
+    def test_all_declared_types_are_accepted(self):
+        for dtype in ATTRIBUTE_TYPES:
+            assert Attribute("x", dtype).dtype == dtype
+
+    def test_attributes_are_hashable_and_comparable(self):
+        assert Attribute("x", "int") == Attribute("x", "int")
+        assert Attribute("x", "int") != Attribute("x", "str")
+        assert len({Attribute("x"), Attribute("x")}) == 1
+
+
+class TestSchema:
+    def test_accepts_strings_and_attributes(self):
+        schema = Schema(["a", Attribute("b", "str")])
+        assert schema.names == ("a", "b")
+        assert schema.attribute("b").dtype == "str"
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(["a", "b", "a"])
+
+    def test_rejects_non_attribute_values(self):
+        with pytest.raises(TypeError):
+            Schema([1, 2])
+
+    def test_position_lookup(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.position("b") == 1
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_position_lookup_missing_raises_keyerror(self):
+        schema = Schema(["a"])
+        with pytest.raises(KeyError, match="'z'"):
+            schema.position("z")
+
+    def test_contains_len_iter(self):
+        schema = Schema(["a", "b"])
+        assert "a" in schema and "z" not in schema
+        assert len(schema) == 2
+        assert [a.name for a in schema] == ["a", "b"]
+
+    def test_project_preserves_order_of_request(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema([Attribute("a", "int"), Attribute("b", "float")])
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+        assert renamed.attribute("x").dtype == "int"
+
+    def test_concat_and_clash_detection(self):
+        left = Schema(["a", "b"])
+        right = Schema(["c"])
+        assert left.concat(right).names == ("a", "b", "c")
+        with pytest.raises(ValueError):
+            left.concat(Schema(["b"]))
+
+    def test_aligns_with_requires_same_names_and_order(self):
+        assert Schema(["a", "b"]).aligns_with(Schema(["a", "b"]))
+        assert not Schema(["a", "b"]).aligns_with(Schema(["b", "a"]))
+        assert not Schema(["a", "b"]).aligns_with(Schema(["a"]))
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["a", "c"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))

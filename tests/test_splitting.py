@@ -1,0 +1,98 @@
+"""Tests for repro.joins.splitting (the splitting method, §5.2 / §8.1)."""
+
+import pytest
+
+from repro.joins.splitting import build_split_chain, build_split_chains
+from repro.joins.template import Template, find_standard_template
+
+
+class TestSplitChainStructure:
+    def test_chain_query_split_against_its_natural_template(self, chain_query):
+        template = Template(("a", "c", "d"), 0.0)
+        chain = build_split_chain(chain_query, template)
+        assert len(chain) == 2
+        first, second = chain.relations
+        assert (first.first, first.second) == ("a", "c")
+        assert (second.first, second.second) == ("c", "d")
+        # 'a' lives in R and 'c' in S -> estimated (multi-source) relation;
+        # 'c' and 'd' -> S and T -> estimated as well.
+        assert not first.is_materializable
+        assert len(chain.fake_joins) == 1
+
+    def test_materializable_split_relation(self, acyclic_query):
+        # Output attributes: k (C), y (D), z (E).  Pair (k, y): k is in C and D;
+        # the output source of k is C, so the pair spans C and D.
+        template = Template(("y", "k", "z"), 0.0)
+        chain = build_split_chain(acyclic_query, template)
+        assert len(chain) == 2
+
+    def test_fake_join_detection(self, uq3_small):
+        # In UQ3's J_C the denormalized custsupp relation holds most output
+        # attributes, so consecutive template pairs drawn from it are fake joins.
+        template = find_standard_template(uq3_small.queries)
+        chains = build_split_chains(uq3_small.queries, template=template)
+        by_name = {c.query_name: c for c in chains}
+        assert any(by_name["UQ3_JC"].fake_joins), (
+            "expected at least one fake join in the denormalized UQ3_JC chain"
+        )
+
+    def test_template_mismatch_raises(self, chain_query):
+        with pytest.raises(ValueError, match="not produced"):
+            build_split_chain(chain_query, Template(("a", "zzz"), 0.0))
+
+
+class TestSplitRelationStatistics:
+    def test_materializable_degrees_match_relation(self, union_pair):
+        j1 = union_pair[0]
+        template = Template(("a", "c"), 0.0)
+        chain = build_split_chain(j1, template)
+        assert len(chain) == 1
+        split = chain.relations[0]
+        # 'a' is the key of R (degree 1 per value).
+        assert split.degree("a", 1) >= 1.0
+        assert split.degree("a", 999) == 0.0
+        assert split.max_degree("a") >= 1.0
+
+    def test_estimated_degrees_are_upper_bounds(self, chain_query):
+        """Estimated split-relation degrees must dominate the true degrees of
+        the corresponding pair in the executed join."""
+        from repro.joins.executor import execute_join
+
+        template = Template(("a", "c", "d"), 0.0)
+        chain = build_split_chain(chain_query, template)
+        first = chain.relations[0]  # pair (a, c)
+
+        results = execute_join(chain_query)
+        # true degree of each 'c' value within the (a, c) projection
+        from collections import Counter
+
+        true_c_degree = Counter(value[1] for value in results)
+        for c_value, true_degree in true_c_degree.items():
+            assert first.degree("c", c_value) >= true_degree
+
+    def test_unknown_attribute_raises(self, union_pair):
+        chain = build_split_chain(union_pair[0], Template(("a", "c"), 0.0))
+        with pytest.raises(KeyError):
+            chain.relations[0].degree("zzz", 1)
+
+    def test_size_bound_dominates_projection_size(self, chain_query):
+        from repro.joins.executor import execute_join
+
+        template = Template(("a", "c", "d"), 0.0)
+        chain = build_split_chain(chain_query, template)
+        results = execute_join(chain_query)
+        distinct_pairs = {(v[0], v[1]) for v in results}
+        assert chain.relations[0].size_bound >= len(distinct_pairs)
+
+
+class TestBuildSplitChains:
+    def test_shared_template_alignment(self, uq3_small):
+        chains = build_split_chains(uq3_small.queries)
+        lengths = {len(c) for c in chains}
+        assert len(lengths) == 1, "all split chains must have the same length"
+        templates = {c.template.attributes for c in chains}
+        assert len(templates) == 1
+
+    def test_join_attribute_helper(self, chain_query):
+        chain = build_split_chain(chain_query, Template(("a", "c", "d"), 0.0))
+        assert chain.join_attribute(0) == "c"

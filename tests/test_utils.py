@@ -1,0 +1,117 @@
+"""Tests for repro.utils (rng helpers and timers)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import bernoulli, ensure_rng, spawn_rngs, weighted_choice
+from repro.utils.timer import PhaseTimer, Stopwatch
+
+
+class TestEnsureRng:
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(7).integers(0, 1000, size=5)
+        b = ensure_rng(7).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent_objects(self):
+        children = spawn_rngs(3, 4)
+        assert len(children) == 4
+        draws = [tuple(c.integers(0, 10**9, size=3)) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_from_generator(self):
+        rng = np.random.default_rng(0)
+        children = spawn_rngs(rng, 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = ensure_rng(0)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(rng, ["a", "b"], [3.0, 1.0])] += 1
+        assert counts["a"] > counts["b"] * 2
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_choice(ensure_rng(0), ["a"], [0.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_choice(ensure_rng(0), ["a", "b"], [1.0, -1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_choice(ensure_rng(0), ["a"], [1.0, 2.0])
+
+
+class TestBernoulli:
+    def test_extreme_probabilities(self):
+        rng = ensure_rng(0)
+        assert all(bernoulli(rng, 1.5) for _ in range(10))
+        assert not any(bernoulli(rng, -0.5) for _ in range(10))
+
+    def test_rate_roughly_matches(self):
+        rng = ensure_rng(1)
+        rate = sum(bernoulli(rng, 0.25) for _ in range(4000)) / 4000
+        assert 0.2 < rate < 0.3
+
+
+class TestTimers:
+    def test_stopwatch_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.009
+
+    def test_stopwatch_stop_before_start(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_phase_timer_accumulates(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.add("x", 0.5)
+        timer.add("y", 2.0)
+        assert timer.get("x") == pytest.approx(1.5)
+        assert timer.get("missing") == 0.0
+        assert timer.total() == pytest.approx(3.5)
+
+    def test_phase_timer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PhaseTimer().add("x", -1.0)
+
+    def test_phase_context_manager(self):
+        timer = PhaseTimer()
+        with timer.phase("sleepy"):
+            time.sleep(0.01)
+        assert timer.get("sleepy") >= 0.009
+
+    def test_merge(self):
+        a, b = PhaseTimer(), PhaseTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 3.0)
+        merged = a.merge(b)
+        assert merged.get("x") == 3.0
+        assert merged.get("y") == 3.0
+        # originals untouched
+        assert a.get("x") == 1.0

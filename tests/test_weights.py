@@ -1,0 +1,109 @@
+"""Tests for repro.sampling.weights (EW and EO weight functions)."""
+
+import pytest
+
+from repro.joins.executor import exact_join_size
+from repro.joins.join_tree import build_join_tree
+from repro.sampling.olken import olken_upper_bound
+from repro.sampling.weights import (
+    ExactWeightFunction,
+    ExtendedOlkenWeightFunction,
+    make_weight_function,
+)
+
+
+class TestExactWeights:
+    @pytest.mark.parametrize("fixture", ["chain_query", "acyclic_query"])
+    def test_total_weight_equals_exact_size(self, fixture, request):
+        query = request.getfixturevalue(fixture)
+        ew = ExactWeightFunction(query)
+        assert ew.total_weight == exact_join_size(query, distinct=False)
+
+    def test_cyclic_total_weight_is_skeleton_size(self, cyclic_query):
+        # Exact weights are computed on the skeleton; residual conditions can
+        # only remove results, so the total is an upper bound for cyclic joins.
+        ew = ExactWeightFunction(cyclic_query)
+        assert ew.total_weight >= exact_join_size(cyclic_query, distinct=False)
+
+    def test_root_weights_per_row(self, chain_query):
+        ew = ExactWeightFunction(chain_query)
+        # R rows: (1,10) joins 2 S rows each joining 1 T row -> 2 results;
+        #         (2,20) joins 1 S row joining 2 T rows -> 2; (3,10) -> 2.
+        assert list(ew.root_weights()) == [2.0, 2.0, 2.0]
+
+    def test_weight_lookup_per_node(self, chain_query):
+        ew = ExactWeightFunction(chain_query)
+        tree = ew.tree
+        s_node = tree.node_for("S")
+        # S rows (10,100) and (10,200) each extend to exactly one T row.
+        assert ew.weight(s_node, 0) == 1.0
+        t_node = tree.node_for("T")
+        assert ew.weight(t_node, 0) == 1.0
+
+    def test_acceptance_bound_is_none(self, chain_query):
+        ew = ExactWeightFunction(chain_query)
+        for node in ew.tree.root.walk():
+            assert ew.acceptance_bound(node) is None
+
+    def test_empty_join_total_weight_zero(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("empty", r_rows=[(1, 99)], s_rows=[(10, 100)])
+        assert ExactWeightFunction(query).total_weight == 0.0
+
+
+class TestExtendedOlkenWeights:
+    def test_total_weight_equals_olken_bound_without_pruning(self, chain_query):
+        eo = ExtendedOlkenWeightFunction(chain_query, prune_dangling=False)
+        assert eo.total_weight == olken_upper_bound(chain_query)
+
+    def test_pruning_never_increases_bound(self, chain_query):
+        pruned = ExtendedOlkenWeightFunction(chain_query, prune_dangling=True)
+        unpruned = ExtendedOlkenWeightFunction(chain_query, prune_dangling=False)
+        assert pruned.total_weight <= unpruned.total_weight
+
+    def test_pruning_zeroes_dangling_root_rows(self):
+        from tests.conftest import make_chain_query
+
+        # R row (9, 99) has no joinable S row.
+        query = make_chain_query(
+            "dangling", r_rows=[(1, 10), (9, 99)], s_rows=[(10, 100), (10, 200)]
+        )
+        eo = ExtendedOlkenWeightFunction(query, prune_dangling=True)
+        weights = list(eo.root_weights())
+        assert weights[1] == 0.0
+        assert weights[0] > 0.0
+
+    def test_total_dominates_exact_weights(self, chain_query, acyclic_query):
+        for query in (chain_query, acyclic_query):
+            eo = ExtendedOlkenWeightFunction(query)
+            ew = ExactWeightFunction(query)
+            assert eo.total_weight >= ew.total_weight
+
+    def test_acceptance_bound_positive_for_non_root(self, chain_query):
+        eo = ExtendedOlkenWeightFunction(chain_query)
+        for node in eo.tree.root.walk():
+            if not node.is_root:
+                assert eo.acceptance_bound(node) > 0
+
+    def test_cap_lookup(self, chain_query):
+        eo = ExtendedOlkenWeightFunction(chain_query)
+        assert eo.cap("T") == 1.0
+        assert eo.cap("S") == 2.0  # M_c(T)=2 * cap(T)=1
+        assert eo.cap("R") == 4.0
+
+
+class TestFactory:
+    def test_make_weight_function_aliases(self, chain_query):
+        assert isinstance(make_weight_function("ew", chain_query), ExactWeightFunction)
+        assert isinstance(make_weight_function("exact", chain_query), ExactWeightFunction)
+        assert isinstance(
+            make_weight_function("eo", chain_query), ExtendedOlkenWeightFunction
+        )
+        assert isinstance(
+            make_weight_function("olken", chain_query), ExtendedOlkenWeightFunction
+        )
+
+    def test_unknown_method_rejected(self, chain_query):
+        with pytest.raises(ValueError):
+            make_weight_function("magic", chain_query)
