@@ -1,0 +1,14 @@
+PYTHONPATH := src
+
+.PHONY: test bench bench-full
+
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Batched-engine micro-benchmark: writes BENCH_batch_engine.json at the root.
+bench:
+	PYTHONPATH=$(PYTHONPATH) python scripts/bench_batch_engine.py
+
+# Full pytest-benchmark harness (paper figures + micro benchmarks).
+bench-full:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest benchmarks/ --benchmark-only -q

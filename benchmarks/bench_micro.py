@@ -36,9 +36,40 @@ def test_join_sampler_eo_throughput(benchmark, query):
     benchmark(lambda: sampler.sample_many(20))
 
 
+def test_join_sampler_ew_scalar_path_throughput(benchmark, query):
+    """Scalar reference path (one walk per call), for batch-vs-scalar ratios."""
+    sampler = JoinSampler(query, weights="ew", seed=1)
+    benchmark(lambda: [sampler.try_sample() for _ in range(20)])
+
+
+def test_join_sampler_ew_batch_throughput(benchmark, query):
+    sampler = JoinSampler(query, weights="ew", seed=1)
+    sampler.sample_batch(50)  # build the level plans outside the timing
+    benchmark(lambda: sampler.sample_batch(1000))
+
+
+def test_join_sampler_eo_batch_throughput(benchmark, query):
+    sampler = JoinSampler(query, weights="eo", seed=1)
+    sampler.sample_batch(50)
+    benchmark(lambda: sampler.sample_batch(1000))
+
+
 def test_wander_join_walk_throughput(benchmark, query):
     walker = WanderJoin(query, seed=1)
     benchmark(lambda: walker.walks(50))
+
+
+def test_wander_join_batch_walk_throughput(benchmark, query):
+    walker = WanderJoin(query, seed=1)
+    walker.walk_batch(50)
+    benchmark(lambda: walker.walk_batch(1000))
+
+
+def test_exact_weight_build_throughput(benchmark, query):
+    """EW bottom-up weight computation (segment sums over the CSR index)."""
+    from repro.sampling.weights import ExactWeightFunction
+
+    benchmark(lambda: ExactWeightFunction(query))
 
 
 def test_membership_probe_throughput(benchmark, workload, query):

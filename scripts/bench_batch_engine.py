@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Benchmark the batched sampling engine against the scalar reference path.
+
+Measures accepted samples/second of ``JoinSampler.try_sample`` (scalar walks)
+and ``JoinSampler.sample_batch`` (vectorized batched walks) under EW and EO
+weights, plus wander-join walk throughput, on the ``bench_micro`` workload
+(UQ2 at the benchmark scale).  Results are written to
+``BENCH_batch_engine.json`` at the repository root.
+
+Run via ``make bench`` or::
+
+    PYTHONPATH=src python scripts/bench_batch_engine.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.config import BENCH_CONFIG  # noqa: E402
+from repro.sampling.join_sampler import JoinSampler  # noqa: E402
+from repro.sampling.wander_join import WanderJoin  # noqa: E402
+from repro.sampling.weights import ExactWeightFunction  # noqa: E402
+from repro.tpch.workloads import build_uq2  # noqa: E402
+
+#: Scalar-path throughput of the seed revision (before the vectorized
+#: engine), measured with the same workload/scale/seed on the CI container.
+SEED_BASELINE = {"ew": 14043.0, "eo": 10751.0}
+
+
+def _scalar_rate(sampler: JoinSampler, seconds: float = 0.5) -> float:
+    accepted = 0
+    started = time.perf_counter()
+    while time.perf_counter() - started < seconds:
+        for _ in range(200):
+            if sampler.try_sample() is not None:
+                accepted += 1
+    return accepted / (time.perf_counter() - started)
+
+
+def _batch_rate(sampler: JoinSampler, seconds: float = 0.5) -> float:
+    accepted = 0
+    started = time.perf_counter()
+    while time.perf_counter() - started < seconds:
+        accepted += len(sampler.sample_batch(5000))
+    return accepted / (time.perf_counter() - started)
+
+
+def main() -> None:
+    workload = build_uq2(scale_factor=BENCH_CONFIG.scale_factor, seed=BENCH_CONFIG.seed)
+    query = workload.queries[0]
+
+    report: dict = {
+        "benchmark": "bench_micro sample-rate (UQ2, first join)",
+        "scale_factor": BENCH_CONFIG.scale_factor,
+        "seed": BENCH_CONFIG.seed,
+        "python": platform.python_version(),
+        "seed_baseline_samples_per_sec": SEED_BASELINE,
+        "results": {},
+    }
+
+    for weights in ("ew", "eo"):
+        scalar = JoinSampler(query, weights=weights, seed=1)
+        batched = JoinSampler(query, weights=weights, seed=2)
+        for _ in range(100):
+            scalar.try_sample()
+        batched.sample_batch(100)
+        scalar_rate = _scalar_rate(scalar)
+        batch_rate = _batch_rate(batched)
+        report["results"][weights] = {
+            "scalar_samples_per_sec": round(scalar_rate, 1),
+            "batch_samples_per_sec": round(batch_rate, 1),
+            "batch_vs_scalar": round(batch_rate / scalar_rate, 2),
+            "batch_vs_seed_baseline": round(batch_rate / SEED_BASELINE[weights], 2),
+        }
+
+    walker = WanderJoin(query, seed=3)
+    walker.walk_batch(100)
+    started = time.perf_counter()
+    walks = 0
+    while time.perf_counter() - started < 0.5:
+        walker.walk_batch(5000)
+        walks += 5000
+    report["results"]["wander_join_walks_per_sec"] = round(
+        walks / (time.perf_counter() - started), 1
+    )
+
+    started = time.perf_counter()
+    builds = 0
+    while time.perf_counter() - started < 0.5:
+        ExactWeightFunction(query)
+        builds += 1
+    report["results"]["ew_weight_builds_per_sec"] = round(
+        builds / (time.perf_counter() - started), 2
+    )
+
+    out_path = REPO_ROOT / "BENCH_batch_engine.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

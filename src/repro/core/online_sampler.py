@@ -41,7 +41,7 @@ from repro.joins.membership import UnionMembershipIndex
 from repro.joins.query import JoinQuery, check_union_compatible
 from repro.sampling.join_sampler import JoinSampler
 from repro.sampling.wander_join import z_value
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.rng import BatchedCategorical, RandomState, ensure_rng, spawn_rngs
 
 
 @dataclass
@@ -111,11 +111,16 @@ class OnlineUnionSampler:
             self._membership_cache: Dict[Tuple[str, Tuple], bool] = {}
 
         self._probabilities = self.parameters.selection_probabilities(use_cover=True)
+        self._selector: Optional[BatchedCategorical] = None
         #: per-join recorded draws (line 3 of Algorithm 2)
         self._records: Dict[str, List[_Record]] = {n: [] for n in self.names}
         self._records_since_update = 0
         self._orig_join: Dict[Tuple, int] = {}
-        self._accepted: List[UnionSample] = []
+        #: accepted samples in acceptance order; revisions tombstone entries
+        #: (set them to None) via the value -> slots side index
+        self._accepted: List[Optional[UnionSample]] = []
+        self._value_slots: Dict[Tuple, List[int]] = {}
+        self._live_count = 0
 
     # ------------------------------------------------------------------ public
     def sample(self, count: int) -> SampleResult:
@@ -123,7 +128,7 @@ class OnlineUnionSampler:
         if count < 0:
             raise ValueError("count must be non-negative")
         max_iterations = max(count, 1) * self.max_iterations_factor
-        while len(self._accepted) < count:
+        while self._live_count < count:
             if self.stats.iterations >= max_iterations:
                 raise RuntimeError(
                     f"OnlineUnionSampler exceeded {max_iterations} iterations while "
@@ -147,8 +152,9 @@ class OnlineUnionSampler:
         self.stats.join_sampler_rejections = self.stats.join_sampler_attempts - sum(
             s.stats.accepted for s in self.join_samplers.values()
         )
+        live = [s for s in self._accepted if s is not None]
         return SampleResult(
-            samples=list(self._accepted[:count]),
+            samples=live[:count],
             parameters=self.parameters,
             stats=self.stats,
             algorithm=self.algorithm + ("-reuse" if self.reuse else ""),
@@ -192,28 +198,28 @@ class OnlineUnionSampler:
             return None
         if recorded is not None and recorded > position:
             self.stats.revisions += 1
-            before = len(self._accepted)
-            self._accepted = [s for s in self._accepted if s.value != value]
-            self.stats.revision_removed += before - len(self._accepted)
+            removed = 0
+            for slot in self._value_slots.pop(value, ()):
+                if self._accepted[slot] is not None:
+                    self._accepted[slot] = None
+                    removed += 1
+            self._live_count -= removed
+            self.stats.revision_removed += removed
         self._orig_join[value] = position
         sample = UnionSample(value, join_name, self.stats.iterations, reused=reused)
         if reused:
             self.stats.reused_accepted += 1
+        self._value_slots.setdefault(value, []).append(len(self._accepted))
         self._accepted.append(sample)
+        self._live_count += 1
         return sample
 
     def _select_join(self) -> str:
-        weights = [max(self._probabilities.get(n, 0.0), 0.0) for n in self.names]
-        total = sum(weights)
-        if total <= 0:
-            return self.names[int(self.rng.integers(0, len(self.names)))]
-        target = self.rng.random() * total
-        cumulative = 0.0
-        for name, weight in zip(self.names, weights):
-            cumulative += weight
-            if target < cumulative:
-                return name
-        return self.names[-1]
+        """Select a join; selections are drawn one multinomial batch at a time."""
+        if self._selector is None:
+            weights = [self._probabilities.get(n, 0.0) for n in self.names]
+            self._selector = BatchedCategorical(self.rng, self.names, weights)
+        return self._selector.draw()
 
     def _record(self, join_name: str, value: Tuple, weight: float) -> None:
         self._records[join_name].append(_Record(value, weight))
@@ -231,6 +237,7 @@ class OnlineUnionSampler:
         self._backtrack(old, refined)
         self.parameters = refined
         self._probabilities = refined.selection_probabilities(use_cover=True)
+        self._selector = None  # refreshed distribution: rebuild the batch
         self.stats.timer.add("estimation_update", time.perf_counter() - started)
 
     def _refine_parameters(self, old: UnionParameters) -> UnionParameters:
@@ -284,10 +291,17 @@ class OnlineUnionSampler:
         )
 
     def _backtrack(self, old: UnionParameters, new: UnionParameters) -> None:
-        """Re-accept previously sampled tuples under the refined parameters (§7)."""
-        retained: List[UnionSample] = []
+        """Re-accept previously sampled tuples under the refined parameters (§7).
+
+        Backtracking touches every accepted sample by design, so it compacts
+        tombstoned slots and rebuilds the value -> slots index as it goes.
+        """
+        retained: List[Optional[UnionSample]] = []
+        slots: Dict[Tuple, List[int]] = {}
         removed = 0
         for sample in self._accepted:
+            if sample is None:
+                continue
             name = sample.source_join
             old_ratio = old.cover_sizes[name] / max(old.union_size, 1e-12)
             new_ratio = new.cover_sizes[name] / max(new.union_size, 1e-12)
@@ -296,10 +310,13 @@ class OnlineUnionSampler:
             else:
                 keep_probability = min(new_ratio / old_ratio, 1.0)
             if self.rng.random() < keep_probability:
+                slots.setdefault(sample.value, []).append(len(retained))
                 retained.append(sample)
             else:
                 removed += 1
         self._accepted = retained
+        self._value_slots = slots
+        self._live_count = len(retained)
         self.stats.backtrack_removed += removed
 
     def _contains(self, query_name: str, value: Tuple) -> bool:

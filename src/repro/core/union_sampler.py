@@ -34,7 +34,7 @@ from repro.estimation.parameters import UnionParameters
 from repro.joins.membership import UnionMembershipIndex
 from repro.joins.query import JoinQuery, check_union_compatible
 from repro.sampling.join_sampler import JoinSampler
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.rng import BatchedCategorical, RandomState, ensure_rng, spawn_rngs
 
 
 class UnionSamplerBase:
@@ -71,6 +71,10 @@ class UnionSamplerBase:
         missing = [n for n in self.names if n not in self.parameters.join_sizes]
         if missing:
             raise ValueError(f"parameters missing join sizes for {missing}")
+
+        #: batched join-selection state (rebuilt when the distribution changes)
+        self._selector: Optional[BatchedCategorical] = None
+        self._selector_source: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------ hooks
     def _iterate(self) -> List[UnionSample]:
@@ -116,18 +120,12 @@ class UnionSamplerBase:
         self.stats.join_sampler_rejections = attempts - accepted
 
     def _select_join(self, probabilities: Dict[str, float]) -> str:
-        names = self.names
-        weights = [max(probabilities.get(n, 0.0), 0.0) for n in names]
-        total = sum(weights)
-        if total <= 0:
-            return names[int(self.rng.integers(0, len(names)))]
-        target = self.rng.random() * total
-        cumulative = 0.0
-        for name, weight in zip(names, weights):
-            cumulative += weight
-            if target < cumulative:
-                return name
-        return names[-1]
+        """Select a join; selections are drawn one multinomial batch at a time."""
+        if self._selector is None or self._selector_source is not probabilities:
+            weights = [probabilities.get(n, 0.0) for n in self.names]
+            self._selector = BatchedCategorical(self.rng, self.names, weights)
+            self._selector_source = probabilities
+        return self._selector.draw()
 
     def _draw(self, join_name: str):
         self.stats.record_draw(join_name)
@@ -171,9 +169,10 @@ class BernoulliUnionSampler(UnionSamplerBase):
     def _iterate(self) -> List[UnionSample]:
         union_size = max(self.parameters.union_size, 1e-12)
         accepted: List[UnionSample] = []
+        selections = self.rng.random(len(self.queries))
         for position, query in enumerate(self.queries):
             probability = min(self.parameters.join_sizes[query.name] / union_size, 1.0)
-            if self.rng.random() >= probability:
+            if selections[position] >= probability:
                 self.stats.rejected_not_selected += 1
                 continue
             draw = self._draw(query.name)
@@ -235,8 +234,12 @@ class SetUnionSampler(UnionSamplerBase):
         self._positions = {name: i for i, name in enumerate(self.names)}
         #: value -> index of the join currently recorded as its origin
         self._orig_join: Dict[Tuple, int] = {}
-        #: accepted samples (shared across iterations so revisions can drop them)
-        self._accepted: List[UnionSample] = []
+        #: accepted samples in acceptance order; revisions tombstone entries
+        #: (set them to None) instead of rebuilding the whole list
+        self._accepted: List[Optional[UnionSample]] = []
+        #: value -> slots of its accepted copies (side index driving revisions)
+        self._value_slots: Dict[Tuple, List[int]] = {}
+        self._live_count = 0
 
     # -------------------------------------------------------------- iteration
     def _iterate(self) -> List[UnionSample]:
@@ -250,7 +253,7 @@ class SetUnionSampler(UnionSamplerBase):
                 self.stats.rejected_duplicate += 1
                 return []
             sample = UnionSample(value, join_name, self.stats.iterations)
-            self._accepted.append(sample)
+            self._accept(sample)
             return [sample]
 
         recorded = self._orig_join.get(value)
@@ -265,7 +268,7 @@ class SetUnionSampler(UnionSamplerBase):
             self.stats.revision_removed += removed
         self._orig_join[value] = position
         sample = UnionSample(value, join_name, self.stats.iterations)
-        self._accepted.append(sample)
+        self._accept(sample)
         return [sample]
 
     def _owned_by_earlier(self, position: int, value: Tuple) -> bool:
@@ -275,11 +278,25 @@ class SetUnionSampler(UnionSamplerBase):
                 return True
         return False
 
+    def _accept(self, sample: UnionSample) -> None:
+        """Record an accepted sample and index its slot for later revisions."""
+        self._value_slots.setdefault(sample.value, []).append(len(self._accepted))
+        self._accepted.append(sample)
+        self._live_count += 1
+
     def _remove_value(self, value: Tuple) -> int:
-        """Drop all previously accepted copies of ``value`` (revision step)."""
-        before = len(self._accepted)
-        self._accepted = [s for s in self._accepted if s.value != value]
-        return before - len(self._accepted)
+        """Drop all previously accepted copies of ``value`` (revision step).
+
+        The value -> slots side index makes this O(copies of the value)
+        instead of a rebuild of the whole accepted list.
+        """
+        removed = 0
+        for slot in self._value_slots.pop(value, ()):
+            if self._accepted[slot] is not None:
+                self._accepted[slot] = None
+                removed += 1
+        self._live_count -= removed
+        return removed
 
     # ----------------------------------------------------------------- public
     def sample(self, count: int) -> SampleResult:
@@ -287,7 +304,7 @@ class SetUnionSampler(UnionSamplerBase):
         if count < 0:
             raise ValueError("count must be non-negative")
         max_iterations = max(count, 1) * self.max_iterations_factor
-        while len(self._accepted) < count:
+        while self._live_count < count:
             if self.stats.iterations >= max_iterations:
                 raise RuntimeError(
                     f"SetUnionSampler exceeded {max_iterations} iterations while "
@@ -303,8 +320,9 @@ class SetUnionSampler(UnionSamplerBase):
             else:
                 self.stats.timer.add("rejected", elapsed)
         self._collect_join_sampler_stats()
+        live = [s for s in self._accepted if s is not None]
         return SampleResult(
-            samples=list(self._accepted[:count]),
+            samples=live[:count],
             parameters=self.parameters,
             stats=self.stats,
             algorithm=f"{self.algorithm}-{self.mode}",

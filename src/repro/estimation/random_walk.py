@@ -116,13 +116,19 @@ class RandomWalkUnionEstimator(UnionSizeEstimator):
         walker = self._walkers[query.name]
         estimator = RunningEstimator()
         samples = self._samples[query.name]
+        # Walks run in vectorized batches: the first batch covers the minimum
+        # walk budget, later ones re-check the confidence target per batch.
         while estimator.count < self.walks_per_join:
-            result = walker.walk()
-            estimator.add(result.inverse_probability)
-            if result.success:
-                samples.append(
-                    CollectedSample(query.name, result.value, result.probability)
-                )
+            if estimator.count < self.min_walks:
+                chunk = self.min_walks - estimator.count
+            else:
+                chunk = min(64, self.walks_per_join - estimator.count)
+            for result in walker.walk_batch(chunk):
+                estimator.add(result.inverse_probability)
+                if result.success:
+                    samples.append(
+                        CollectedSample(query.name, result.value, result.probability)
+                    )
             if estimator.count >= self.min_walks:
                 estimate = estimator.estimate(self.confidence)
                 if (

@@ -15,7 +15,9 @@ the membership prober — operates over a rooted *join tree*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.joins.conditions import JoinCondition
 from repro.joins.query import JoinQuery, JoinType
@@ -120,6 +122,37 @@ class JoinTree:
             if lv != rv:
                 return False
         return True
+
+    def residual_mask(self, assignments: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Vectorized :meth:`residual_satisfied` over a batch of assignments.
+
+        ``assignments`` maps every relation name to an array of row positions
+        (one entry per walk); the result marks the walks whose assembled rows
+        satisfy all residual conditions.
+        """
+        sizes = {len(a) for a in assignments.values()}
+        if len(sizes) != 1:
+            raise ValueError("assignment arrays must share one batch size")
+        (size,) = sizes
+        ok = np.ones(size, dtype=bool)
+        for cond in self.residual_conditions:
+            left = self.query.relation(cond.left_relation)
+            right = self.query.relation(cond.right_relation)
+            left_values = left.column_array(cond.left_attribute)[
+                assignments[cond.left_relation]
+            ]
+            right_values = right.column_array(cond.right_attribute)[
+                assignments[cond.right_relation]
+            ]
+            equal = np.asarray(left_values == right_values)
+            if equal.shape != (size,):  # mixed-dtype comparison collapsed
+                equal = np.fromiter(
+                    (a == b for a, b in zip(left_values.tolist(), right_values.tolist())),
+                    dtype=bool,
+                    count=size,
+                )
+            ok &= equal
+        return ok
 
 
 def build_join_tree(query: JoinQuery, root: Optional[str] = None) -> JoinTree:

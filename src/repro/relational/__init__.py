@@ -6,7 +6,8 @@ predicates, and the physical operators needed both by the sampling framework
 truth (hash joins, set/disjoint union).
 """
 
-from repro.relational.index import HashIndex
+from repro.relational.columnar import ColumnStore, as_column_array, tuple_key_array
+from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.operators import (
     difference,
     disjoint_union,
@@ -44,6 +45,10 @@ __all__ = [
     "Relation",
     "Row",
     "HashIndex",
+    "SortedIndex",
+    "ColumnStore",
+    "as_column_array",
+    "tuple_key_array",
     "ColumnStatistics",
     "EquiWidthHistogram",
     "HistogramBucket",

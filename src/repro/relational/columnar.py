@@ -1,0 +1,102 @@
+"""Columnar backing for relations.
+
+The batched sampling engine operates on whole batches of rows at once, which
+needs per-attribute NumPy arrays (gather parent keys, project survivors) next
+to the row-major tuples that the scalar code paths keep using.
+:class:`ColumnStore` builds those arrays lazily, one attribute at a time, and
+also materializes composite join keys as object arrays of tuples so that
+multi-attribute equi-joins go through the same batched machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def as_column_array(values: Sequence[object]) -> np.ndarray:
+    """1-D array over a column's values, falling back to ``object`` dtype.
+
+    Homogeneous numeric/string columns become typed arrays (fast vectorized
+    comparisons); anything NumPy would reshape, reject, or silently coerce
+    (tuples, mixed types — ``np.asarray([1, "x"])`` stringifies the int) is
+    stored as an object array so row identity is preserved.
+    """
+    if len({type(v) for v in values}) > 1:
+        return _object_array(values)
+    try:
+        array = np.asarray(values)
+    except (ValueError, TypeError):
+        array = _object_array(values)
+    if array.ndim != 1 or array.dtype.kind in ("O", "V"):
+        array = _object_array(values)
+    return array
+
+
+def _object_array(values: Sequence[object]) -> np.ndarray:
+    array = np.empty(len(values), dtype=object)
+    array[:] = list(values)
+    return array
+
+
+def tuple_key_array(columns: Sequence[np.ndarray]) -> np.ndarray:
+    """Object array of per-row key tuples from several column arrays."""
+    if not columns:
+        raise ValueError("at least one column is required")
+    rows = list(zip(*(column.tolist() for column in columns)))
+    array = np.empty(len(rows), dtype=object)
+    array[:] = rows
+    return array
+
+
+class ColumnStore:
+    """Lazy per-attribute column arrays for one relation.
+
+    The store is invalidated wholesale when the relation mutates; arrays are
+    rebuilt from the row tuples on next access.
+    """
+
+    __slots__ = ("_schema", "_rows", "_arrays", "_key_arrays")
+
+    def __init__(self, schema, rows: List[Tuple]) -> None:
+        self._schema = schema
+        self._rows = rows
+        self._arrays: Dict[str, np.ndarray] = {}
+        self._key_arrays: Dict[Tuple[str, ...], np.ndarray] = {}
+
+    def array(self, attribute: str) -> np.ndarray:
+        """Column array of ``attribute`` (row order, duplicates kept)."""
+        if attribute not in self._arrays:
+            position = self._schema.position(attribute)
+            self._arrays[attribute] = as_column_array(
+                [row[position] for row in self._rows]
+            )
+        return self._arrays[attribute]
+
+    def key_array(self, attributes: Sequence[str]) -> np.ndarray:
+        """Per-row join-key array for one or several attributes.
+
+        A single attribute returns its column array; composite keys return an
+        object array of tuples matching the keys of
+        :meth:`~repro.relational.relation.Relation.index_on_columns`.
+        """
+        attrs = tuple(attributes)
+        if len(attrs) == 1:
+            return self.array(attrs[0])
+        if attrs not in self._key_arrays:
+            self._key_arrays[attrs] = tuple_key_array(
+                [self.array(a) for a in attrs]
+            )
+        return self._key_arrays[attrs]
+
+    def gather(self, attribute: str, positions: np.ndarray) -> list:
+        """Python-typed values of ``attribute`` at the given row positions."""
+        return self.array(attribute)[positions].tolist()
+
+    def invalidate(self) -> None:
+        self._arrays.clear()
+        self._key_arrays.clear()
+
+
+__all__ = ["ColumnStore", "as_column_array", "tuple_key_array"]

@@ -1,4 +1,4 @@
-"""Hash indexes over relation columns.
+"""Hash and CSR indexes over relation columns.
 
 The paper replaces the B-tree indexes assumed by Zhao et al. with hash tables
 that record, for every join-attribute value, the positions of the rows holding
@@ -8,23 +8,35 @@ information", §3.2).  :class:`HashIndex` is exactly that structure; it backs
 * joinability lookups during join sampling and random walks,
 * degree lookups (`d_A(v, R)`) during weight computation,
 * membership probes of the random-walk overlap estimator.
+
+:class:`SortedIndex` is the columnar companion used by the batched sampling
+engine: the same value -> positions mapping laid out as one contiguous
+positions array plus a CSR offsets array, so that "joinable rows for a batch
+of parent keys" is a handful of NumPy gathers instead of per-row dict lookups.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
 
 
 class HashIndex:
     """Value -> row-position index for one attribute of a relation."""
 
-    __slots__ = ("attribute", "_buckets", "_max_degree")
+    __slots__ = ("attribute", "_buckets", "_max_degree", "_total_rows")
 
-    def __init__(self, attribute: str, buckets: Dict[object, List[int]]) -> None:
+    def __init__(self, attribute: str, buckets: Dict[object, Sequence[int]]) -> None:
         self.attribute = attribute
-        self._buckets = buckets
-        self._max_degree = max((len(v) for v in buckets.values()), default=0)
+        # Buckets are stored as tuples so that lookups hand out read-only
+        # views: callers cannot corrupt the index by mutating a result.
+        self._buckets: Dict[object, Tuple[int, ...]] = {
+            value: tuple(positions) for value, positions in buckets.items()
+        }
+        self._max_degree = max((len(v) for v in self._buckets.values()), default=0)
+        self._total_rows = sum(len(v) for v in self._buckets.values())
 
     @classmethod
     def build(cls, values: Iterable[object], attribute: str = "") -> "HashIndex":
@@ -32,12 +44,12 @@ class HashIndex:
         buckets: Dict[object, List[int]] = defaultdict(list)
         for position, value in enumerate(values):
             buckets[value].append(position)
-        return cls(attribute, dict(buckets))
+        return cls(attribute, buckets)
 
     # ----------------------------------------------------------------- lookups
-    def positions(self, value: object) -> List[int]:
-        """Row positions whose attribute equals ``value`` (empty list if none)."""
-        return self._buckets.get(value, [])
+    def positions(self, value: object) -> Tuple[int, ...]:
+        """Row positions whose attribute equals ``value`` (empty if none)."""
+        return self._buckets.get(value, ())
 
     def degree(self, value: object) -> int:
         """Number of rows whose attribute equals ``value``."""
@@ -54,7 +66,7 @@ class HashIndex:
         """Iterate over the distinct indexed values."""
         return iter(self._buckets)
 
-    def items(self) -> Iterator[Tuple[object, List[int]]]:
+    def items(self) -> Iterator[Tuple[object, Tuple[int, ...]]]:
         """Iterate over ``(value, positions)`` pairs."""
         return iter(self._buckets.items())
 
@@ -66,8 +78,8 @@ class HashIndex:
 
     @property
     def total_rows(self) -> int:
-        """Total number of indexed rows."""
-        return sum(len(v) for v in self._buckets.values())
+        """Total number of indexed rows (cached at build time)."""
+        return self._total_rows
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -76,4 +88,154 @@ class HashIndex:
         )
 
 
-__all__ = ["HashIndex"]
+class SortedIndex:
+    """CSR layout of a :class:`HashIndex`: positions grouped by key.
+
+    Attributes
+    ----------
+    row_positions:
+        One contiguous int array holding the row positions of every key,
+        grouped key-by-key.
+    offsets:
+        CSR offsets of length ``n_keys + 1``: the positions of key slot ``i``
+        are ``row_positions[offsets[i]:offsets[i + 1]]``.  Every slot is
+        non-empty by construction (a key only exists if some row holds it).
+
+    Key values map to slots either through a vectorized ``searchsorted`` over
+    a sorted key array (homogeneous numeric/string keys) or through a plain
+    dict (tuples and mixed types).
+    """
+
+    __slots__ = (
+        "attribute",
+        "row_positions",
+        "offsets",
+        "_slot_of",
+        "_sorted_keys",
+        "_sorted_slots",
+    )
+
+    def __init__(
+        self,
+        attribute: str,
+        keys: Sequence[object],
+        row_positions: np.ndarray,
+        offsets: np.ndarray,
+    ) -> None:
+        self.attribute = attribute
+        self.row_positions = np.asarray(row_positions, dtype=np.intp)
+        self.offsets = np.asarray(offsets, dtype=np.intp)
+        # Lookups hand out views of these arrays; keep them read-only so
+        # callers cannot corrupt the index (same invariant as HashIndex).
+        self.row_positions.setflags(write=False)
+        self.offsets.setflags(write=False)
+        self._slot_of: Dict[object, int] = {key: i for i, key in enumerate(keys)}
+        self._sorted_keys: np.ndarray | None = None
+        self._sorted_slots: np.ndarray | None = None
+        if keys and len({type(k) for k in keys}) == 1:
+            # Mixed-type keys must stay on the dict path: np.asarray would
+            # silently stringify them and corrupt the searchsorted lookup.
+            try:
+                key_array = np.asarray(list(keys))
+            except (ValueError, TypeError):  # pragma: no cover - exotic keys
+                key_array = np.empty(0, dtype=object)
+            if key_array.ndim == 1 and key_array.dtype != object:
+                order = np.argsort(key_array, kind="stable")
+                self._sorted_keys = key_array[order]
+                self._sorted_slots = np.asarray(order, dtype=np.intp)
+
+    @classmethod
+    def from_hash_index(cls, index: HashIndex) -> "SortedIndex":
+        """CSR view of an existing hash index (shares no mutable state)."""
+        keys: List[object] = []
+        degrees: List[int] = []
+        chunks: List[Tuple[int, ...]] = []
+        for value, positions in index.items():
+            keys.append(value)
+            degrees.append(len(positions))
+            chunks.append(positions)
+        offsets = np.zeros(len(keys) + 1, dtype=np.intp)
+        if degrees:
+            offsets[1:] = np.cumsum(degrees)
+        flat = np.fromiter(
+            (p for chunk in chunks for p in chunk), dtype=np.intp, count=int(offsets[-1])
+        )
+        return cls(index.attribute, keys, flat, offsets)
+
+    # ------------------------------------------------------------------- slots
+    @property
+    def n_keys(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.offsets[-1]) if len(self.offsets) else 0
+
+    def slot(self, value: object) -> int:
+        """Slot id of ``value`` (-1 when absent)."""
+        return self._slot_of.get(value, -1)
+
+    def slots_for(self, values: Sequence[object] | np.ndarray) -> np.ndarray:
+        """Slot ids for a batch of key values (-1 where absent).
+
+        Homogeneous non-object key columns resolve through one vectorized
+        ``searchsorted``; tuple/mixed keys fall back to dict lookups in a
+        single ``fromiter`` pass.
+        """
+        if self._sorted_keys is not None and isinstance(values, np.ndarray):
+            if values.dtype != object and values.ndim == 1:
+                n = len(self._sorted_keys)
+                idx = np.searchsorted(self._sorted_keys, values)
+                idx_clipped = np.minimum(idx, n - 1)
+                found = self._sorted_keys[idx_clipped] == values
+                slots = np.where(found, self._sorted_slots[idx_clipped], -1)
+                return np.asarray(slots, dtype=np.intp)
+        get = self._slot_of.get
+        return np.fromiter(
+            (get(v, -1) for v in values), dtype=np.intp, count=len(values)
+        )
+
+    # ----------------------------------------------------------------- lookups
+    def positions(self, value: object) -> np.ndarray:
+        """Row positions for one key value (empty array when absent)."""
+        slot = self.slot(value)
+        if slot < 0:
+            return self.row_positions[:0]
+        return self.row_positions[self.offsets[slot] : self.offsets[slot + 1]]
+
+    def degree(self, value: object) -> int:
+        slot = self.slot(value)
+        if slot < 0:
+            return 0
+        return int(self.offsets[slot + 1] - self.offsets[slot])
+
+    def degrees(self) -> np.ndarray:
+        """Per-slot degrees (length ``n_keys``)."""
+        return np.diff(self.offsets)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._slot_of
+
+    def __len__(self) -> int:
+        return self.n_keys
+
+    # ------------------------------------------------------------ aggregation
+    def segment_sums(self, row_values: np.ndarray) -> np.ndarray:
+        """Per-key sums of ``row_values`` (indexed by row position).
+
+        Equivalent to ``[row_values[positions].sum() for each key]`` but
+        computed with one gather and one ``np.add.reduceat``.
+        """
+        if self.n_keys == 0:
+            return np.zeros(0, dtype=float)
+        gathered = np.asarray(row_values, dtype=float)[self.row_positions]
+        return np.add.reduceat(gathered, self.offsets[:-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SortedIndex(attribute={self.attribute!r}, keys={self.n_keys}, "
+            f"rows={self.total_rows})"
+        )
+
+
+__all__ = ["HashIndex", "SortedIndex"]

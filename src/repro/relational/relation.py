@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
-from repro.relational.index import HashIndex
+import numpy as np
+
+from repro.relational.columnar import ColumnStore
+from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.schema import Attribute, Schema
 from repro.relational.statistics import ColumnStatistics
 
@@ -47,7 +50,9 @@ class Relation:
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
         self._rows: list[Row] = []
         self._indexes: Dict[str, HashIndex] = {}
+        self._sorted_indexes: Dict[str, SortedIndex] = {}
         self._statistics: Dict[str, ColumnStatistics] = {}
+        self._columns: Optional[ColumnStore] = None
         width = len(self.schema)
         for row in rows:
             tup = tuple(row)
@@ -130,6 +135,14 @@ class Relation:
         return tuple(row[p] for p in positions)
 
     # ------------------------------------------------------------- mutations
+    def _invalidate(self) -> None:
+        """Drop all caches derived from the row storage."""
+        self._indexes.clear()
+        self._sorted_indexes.clear()
+        self._statistics.clear()
+        if self._columns is not None:
+            self._columns.invalidate()
+
     def append(self, row: Sequence) -> None:
         """Append a row.  Invalidates indexes and statistics."""
         tup = tuple(row)
@@ -138,12 +151,22 @@ class Relation:
                 f"row {tup!r} has {len(tup)} fields, schema expects {len(self.schema)}"
             )
         self._rows.append(tup)
-        self._indexes.clear()
-        self._statistics.clear()
+        self._invalidate()
 
     def extend(self, rows: Iterable[Sequence]) -> None:
+        """Append many rows: validate them all, then invalidate caches once."""
+        width = len(self.schema)
+        new_rows = []
         for row in rows:
-            self.append(row)
+            tup = tuple(row)
+            if len(tup) != width:
+                raise ValueError(
+                    f"row {tup!r} has {len(tup)} fields, schema expects {width}"
+                )
+            new_rows.append(tup)
+        if new_rows:
+            self._rows.extend(new_rows)
+            self._invalidate()
 
     # -------------------------------------------------- indexes & statistics
     def index_on(self, attribute: str) -> HashIndex:
@@ -181,6 +204,40 @@ class Relation:
                 (tuple(row[p] for p in positions) for row in self._rows), cache_key
             )
         return self._indexes[cache_key]
+
+    def sorted_index_on_columns(self, attributes: Sequence[str]) -> SortedIndex:
+        """CSR index keyed by the (possibly composite) attribute tuple.
+
+        Built lazily from the corresponding hash index and cached; used by the
+        batched sampling engine for whole-batch joinability lookups.
+        """
+        attrs = tuple(attributes)
+        cache_key = "\x00".join(attrs)
+        if cache_key not in self._sorted_indexes:
+            self._sorted_indexes[cache_key] = SortedIndex.from_hash_index(
+                self.index_on_columns(attrs)
+            )
+        return self._sorted_indexes[cache_key]
+
+    # --------------------------------------------------------------- columnar
+    @property
+    def columns(self) -> ColumnStore:
+        """Lazy per-attribute column arrays backing the batched engine."""
+        if self._columns is None:
+            self._columns = ColumnStore(self.schema, self._rows)
+        return self._columns
+
+    def column_array(self, attribute: str) -> np.ndarray:
+        """Column values of ``attribute`` as a NumPy array (cached)."""
+        return self.columns.array(attribute)
+
+    def join_key_array(self, attributes: Sequence[str]) -> np.ndarray:
+        """Per-row join-key array over ``attributes`` (cached).
+
+        Single attributes yield the plain column array; composite keys yield
+        an object array of tuples, matching :meth:`index_on_columns` keys.
+        """
+        return self.columns.key_array(attributes)
 
     def statistics_on_columns(self, attributes: Sequence[str]) -> ColumnStatistics:
         """Column statistics over the composite key formed by ``attributes``."""

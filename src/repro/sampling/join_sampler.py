@@ -14,12 +14,24 @@ query without materializing it, by walking the join tree root-to-leaves:
 Every accepted result has probability ``1 / W`` where ``W`` is the weight
 function's total weight, hence results are uniform over the join; acceptance
 probability is ``|J| / W``.
+
+Two execution paths produce identically-distributed samples:
+
+* the scalar path (:meth:`JoinSampler.try_sample`) performs one root-to-leaf
+  walk at a time — the reference implementation of the paper's algorithm;
+* the batched path (:meth:`JoinSampler.sample_batch`) runs whole batches of
+  walks level-by-level over the columnar/CSR storage layer: one vectorized
+  inverse-CDF draw over the cumulative root weights, then per level a key
+  gather, a CSR slot lookup, a vectorized accept/reject test and a vectorized
+  weighted child choice.  :meth:`sample` and :meth:`sample_many` refill from
+  an internal buffer fed by the batched path.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +56,9 @@ class SampleDraw:
     assignment:
         Relation name -> row position of the underlying join result.
     attempts:
-        Number of root-to-leaf walks needed to produce this accepted sample.
+        Number of root-to-leaf walks needed to produce this accepted sample
+        (always 1 for samples produced by the batched path, which accounts
+        rejected walks in the sampler-level stats instead).
     """
 
     value: Tuple
@@ -70,6 +84,32 @@ class JoinSamplerStats:
         return self.accepted / self.attempts
 
 
+@dataclass
+class _LevelPlan:
+    """Precomputed per-node arrays for the batched descent.
+
+    For the non-root node ``node`` with parent ``parent``:
+
+    * ``parent_keys[p]`` is the join-key value of parent row ``p``;
+    * ``csr`` groups the node's row positions by key (CSR layout);
+    * ``csr_weights`` are the node rows' weights in CSR order,
+      ``cum_weights`` their running sum, ``seg_sums``/``seg_prefix`` the
+      realized weight sum of each key segment and the cumulative weight in
+      front of it — together they turn "pick a joinable row proportionally to
+      its weight" into one ``searchsorted`` per batch.
+    """
+
+    node: JoinTreeNode
+    parent: JoinTreeNode
+    parent_keys: np.ndarray
+    csr: object  # SortedIndex
+    csr_weights: np.ndarray
+    cum_weights: np.ndarray
+    seg_sums: np.ndarray
+    seg_prefix: np.ndarray
+    bound: Optional[float]
+
+
 class JoinSampler:
     """Accept/reject uniform sampler over one join query.
 
@@ -86,6 +126,8 @@ class JoinSampler:
         When True and the query carries predicates that were *not* pushed
         down, each assembled result is additionally checked against them and
         rejected on failure (§8.3 second alternative).
+    max_batch_size:
+        Upper bound on the number of simultaneous walks of one batched pass.
     """
 
     def __init__(
@@ -95,6 +137,7 @@ class JoinSampler:
         seed: RandomState = None,
         tree: Optional[JoinTree] = None,
         enforce_predicates: bool = True,
+        max_batch_size: int = 8192,
     ) -> None:
         self.query = query
         self.tree = tree or build_join_tree(query)
@@ -113,6 +156,11 @@ class JoinSampler:
         #: pre-order node list (root first) for the descent
         self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
         self._collect(self.tree.root, None)
+        self._relation_order = [node.relation for node, _ in self._order]
+        self._plans: Optional[List[_LevelPlan]] = None
+        self._buffer: Deque[SampleDraw] = deque()
+        self._min_batch_size = 32
+        self._max_batch_size = max(int(max_batch_size), 1)
 
     def _collect(self, node: JoinTreeNode, parent: Optional[JoinTreeNode]) -> None:
         self._order.append((node, parent))
@@ -132,7 +180,11 @@ class JoinSampler:
         return None
 
     def try_sample(self) -> Optional[SampleDraw]:
-        """One root-to-leaf attempt; ``None`` when the walk is rejected."""
+        """One root-to-leaf attempt; ``None`` when the walk is rejected.
+
+        This is the scalar reference path; :meth:`sample_batch` runs the same
+        accept/reject process vectorized over whole batches of walks.
+        """
         self.stats.attempts += 1
         if self._root_total <= 0:
             self.stats.rejected_empty += 1
@@ -160,9 +212,7 @@ class JoinSampler:
             if not joinable:
                 self.stats.rejected_empty += 1
                 return None
-            weights = np.asarray(
-                [self.weight_function.weight(node, p) for p in joinable], dtype=float
-            )
+            weights = self.weight_function.weights_for(node, joinable)
             realized = float(weights.sum())
             if realized <= 0:
                 self.stats.rejected_empty += 1
@@ -190,22 +240,224 @@ class JoinSampler:
         )
 
     def sample(self, max_attempts: int = 1_000_000) -> SampleDraw:
-        """One accepted sample (retries rejected walks internally)."""
-        for attempt in range(1, max_attempts + 1):
-            draw = self.try_sample()
-            if draw is not None:
-                draw.attempts = attempt
-                return draw
-        raise RuntimeError(
-            f"JoinSampler on {self.query.name!r} failed to accept a sample "
-            f"after {max_attempts} attempts (bound too loose or empty join)"
-        )
+        """One accepted sample (refills an internal buffer via the batch path)."""
+        if self._buffer:
+            return self._buffer.popleft()
+        draws = self.sample_batch(1, max_attempts=max_attempts)
+        return draws[0]
 
     def sample_many(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
         """``count`` independent accepted samples."""
+        return self.sample_batch(count, max_attempts=max_attempts)
+
+    def sample_batch(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
+        """``count`` accepted samples drawn via the batched descent.
+
+        Rejected walks are retried in adaptively-sized batches; a stretch of
+        ``max_attempts`` consecutive rejected walks raises ``RuntimeError``
+        (bound too loose or empty join).  Surplus accepted walks are kept in
+        the internal buffer for subsequent calls.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
-        return [self.sample(max_attempts=max_attempts) for _ in range(count)]
+        draws: List[SampleDraw] = []
+        while self._buffer and len(draws) < count:
+            draws.append(self._buffer.popleft())
+        attempts_since_accept = 0
+        while len(draws) < count:
+            need = count - len(draws)
+            size = min(self._next_batch_size(need), max(1, max_attempts - attempts_since_accept))
+            accepted = self._attempt_batch(size)
+            if accepted:
+                attempts_since_accept = 0
+                draws.extend(accepted)
+            else:
+                attempts_since_accept += size
+                if attempts_since_accept >= max_attempts:
+                    raise RuntimeError(
+                        f"JoinSampler on {self.query.name!r} failed to accept a sample "
+                        f"after {max_attempts} attempts (bound too loose or empty join)"
+                    )
+        self._buffer.extend(draws[count:])
+        return draws[:count]
+
+    # ------------------------------------------------------------- batch path
+    def _next_batch_size(self, need: int) -> int:
+        """Batch size that should yield ``need`` accepted samples in one pass."""
+        if self.stats.attempts > 0 and self.stats.accepted > 0:
+            rate = self.stats.accepted / self.stats.attempts
+            estimate = int(need / rate * 1.25) + 1
+        else:
+            estimate = need * 4
+        return max(self._min_batch_size, min(estimate, self._max_batch_size))
+
+    def _level_plans(self) -> List[_LevelPlan]:
+        """Per-node CSR/weight arrays, built once on first batched call."""
+        if self._plans is None:
+            plans: List[_LevelPlan] = []
+            for node, parent in self._order:
+                if parent is None:
+                    continue
+                parent_rel = self.query.relation(parent.relation)
+                child_rel = self.query.relation(node.relation)
+                csr = child_rel.sorted_index_on_columns(node.child_attributes)
+                csr_weights = np.asarray(
+                    self.weight_function.weights_for(node, csr.row_positions),
+                    dtype=float,
+                )
+                cum_weights = np.cumsum(csr_weights)
+                starts = csr.offsets[:-1]
+                if csr.n_keys:
+                    seg_sums = np.add.reduceat(csr_weights, starts)
+                    seg_prefix = cum_weights[starts] - csr_weights[starts]
+                else:
+                    seg_sums = np.zeros(0, dtype=float)
+                    seg_prefix = np.zeros(0, dtype=float)
+                plans.append(
+                    _LevelPlan(
+                        node=node,
+                        parent=parent,
+                        parent_keys=parent_rel.join_key_array(node.parent_attributes),
+                        csr=csr,
+                        csr_weights=csr_weights,
+                        cum_weights=cum_weights,
+                        seg_sums=seg_sums,
+                        seg_prefix=seg_prefix,
+                        bound=self.weight_function.acceptance_bound(node),
+                    )
+                )
+            self._plans = plans
+        return self._plans
+
+    def _attempt_batch(self, size: int) -> List[SampleDraw]:
+        """Run ``size`` root-to-leaf walks simultaneously; return the accepted."""
+        self.stats.attempts += size
+        if self._root_total <= 0 or self._root_cumulative is None:
+            self.stats.rejected_empty += size
+            return []
+
+        chosen: Dict[str, np.ndarray] = {
+            name: np.full(size, -1, dtype=np.intp) for name in self._relation_order
+        }
+        chosen[self.tree.root.relation] = self._batch_root_choice(size)
+        walks = np.arange(size, dtype=np.intp)
+
+        for plan in self._level_plans():
+            if walks.size == 0:
+                break
+            parent_positions = chosen[plan.parent.relation][walks]
+            keys = plan.parent_keys[parent_positions]
+            slots = plan.csr.slots_for(keys)
+            present = slots >= 0
+            if not present.all():
+                self.stats.rejected_empty += int((~present).sum())
+                walks = walks[present]
+                slots = slots[present]
+                if walks.size == 0:
+                    break
+            realized = plan.seg_sums[slots]
+            positive = realized > 0
+            if not positive.all():
+                self.stats.rejected_empty += int((~positive).sum())
+                walks = walks[positive]
+                slots = slots[positive]
+                realized = realized[positive]
+                if walks.size == 0:
+                    break
+            if plan.bound is not None and plan.bound > 0:
+                accept = self.rng.random(walks.size) < realized / plan.bound
+                if not accept.all():
+                    self.stats.rejected_weight += int((~accept).sum())
+                    walks = walks[accept]
+                    slots = slots[accept]
+                    realized = realized[accept]
+                    if walks.size == 0:
+                        break
+            # Weighted child choice: inverse CDF within each key's segment of
+            # the global cumulative weight array.
+            starts = plan.csr.offsets[slots]
+            ends = plan.csr.offsets[slots + 1]
+            targets = plan.seg_prefix[slots] + self.rng.random(walks.size) * realized
+            idx = np.searchsorted(plan.cum_weights, targets, side="right")
+            idx = np.clip(idx, starts, ends - 1)
+            chosen[plan.node.relation][walks] = plan.csr.row_positions[idx]
+
+        if walks.size and self.tree.residual_conditions:
+            walks = self._filter_residuals(chosen, walks)
+        if (
+            walks.size
+            and self.enforce_predicates
+            and self.query.predicates
+            and not self.query.push_down_predicates
+        ):
+            walks = self._filter_predicates(chosen, walks)
+        if walks.size == 0:
+            return []
+
+        self.stats.accepted += int(walks.size)
+        return self._assemble_draws(chosen, walks)
+
+    def _batch_root_choice(self, size: int) -> np.ndarray:
+        """Vectorized inverse-CDF draw of ``size`` root rows."""
+        assert self._root_cumulative is not None
+        targets = self.rng.random(size) * self._root_total
+        positions = np.searchsorted(self._root_cumulative, targets, side="right")
+        np.clip(positions, 0, len(self._root_weights) - 1, out=positions)
+        # Floating-point edge effects can land on a zero-weight row; redraw
+        # those explicitly (the scalar path does the same).
+        bad = self._root_weights[positions] <= 0
+        if bad.any():
+            positive = np.flatnonzero(self._root_weights > 0)
+            probabilities = self._root_weights[positive] / self._root_weights[positive].sum()
+            positions[bad] = self.rng.choice(
+                positive, size=int(bad.sum()), p=probabilities
+            )
+        return positions.astype(np.intp, copy=False)
+
+    def _filter_residuals(self, chosen: Dict[str, np.ndarray], walks: np.ndarray) -> np.ndarray:
+        """Drop walks whose assembled assignment violates a residual condition."""
+        ok = self.tree.residual_mask(
+            {name: positions[walks] for name, positions in chosen.items()}
+        )
+        rejected = int((~ok).sum())
+        if rejected:
+            self.stats.rejected_residual += rejected
+            walks = walks[ok]
+        return walks
+
+    def _filter_predicates(self, chosen: Dict[str, np.ndarray], walks: np.ndarray) -> np.ndarray:
+        """Drop walks violating predicates that were not pushed down (§8.3)."""
+        keep = np.ones(walks.size, dtype=bool)
+        for rel_name, predicate in self.query.predicates.items():
+            relation = self.query.relation(rel_name)
+            positions = chosen[rel_name][walks]
+            for i, pos in enumerate(positions.tolist()):
+                if keep[i] and not predicate.evaluate(relation.row(pos), relation.schema):
+                    keep[i] = False
+        rejected = int((~keep).sum())
+        if rejected:
+            self.stats.rejected_predicate += rejected
+            walks = walks[keep]
+        return walks
+
+    def _assemble_draws(self, chosen: Dict[str, np.ndarray], walks: np.ndarray) -> List[SampleDraw]:
+        """Materialize SampleDraw objects for the surviving walks."""
+        value_columns = []
+        for out in self.query.output_attributes:
+            relation = self.query.relation(out.relation)
+            value_columns.append(
+                relation.columns.gather(out.attribute, chosen[out.relation][walks])
+            )
+        values = list(zip(*value_columns))
+        assignment_columns = {
+            name: chosen[name][walks].tolist() for name in self._relation_order
+        }
+        draws = []
+        names = self._relation_order
+        for i, value in enumerate(values):
+            assignment = {name: assignment_columns[name][i] for name in names}
+            draws.append(SampleDraw(value=value, assignment=assignment, attempts=1))
+        return draws
 
     # --------------------------------------------------------------- internals
     def _weighted_root_choice(self) -> Optional[int]:

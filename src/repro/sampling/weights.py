@@ -66,6 +66,16 @@ class WeightFunction(ABC):
         sum of the joinable rows for any parent row.
         """
 
+    def weights_for(self, node: JoinTreeNode, positions: Sequence[int]) -> np.ndarray:
+        """Vectorized weight lookup for several row positions of ``node``.
+
+        Subclasses override this with an array gather; the default falls back
+        to per-position :meth:`weight` calls.
+        """
+        return np.asarray(
+            [self.weight(node, int(p)) for p in positions], dtype=float
+        )
+
     # -------------------------------------------------------------- utilities
     def describe(self) -> Dict[str, float]:
         """Summary used by benchmarks (total weight and per-node bounds)."""
@@ -95,16 +105,19 @@ class ExactWeightFunction(WeightFunction):
             for child in node.children:
                 child_rel = self.query.relation(child.relation)
                 child_weights = self._weights[child.relation]
-                index = child_rel.index_on_columns(child.child_attributes)
-                parent_positions = relation.schema.positions(child.parent_attributes)
-                factor = np.zeros(len(relation), dtype=float)
-                for pos in range(len(relation)):
-                    row = relation.row(pos)
-                    key = tuple(row[p] for p in parent_positions)
-                    lookup = key if len(key) > 1 else key[0]
-                    matches = index.positions(lookup)
-                    if matches:
-                        factor[pos] = float(child_weights[list(matches)].sum())
+                csr = child_rel.sorted_index_on_columns(child.child_attributes)
+                # Per-key sums of the child weights, then one gather per parent
+                # row: weight(parent) *= sum of joinable child weights.
+                key_sums = csr.segment_sums(child_weights)
+                if key_sums.size == 0:
+                    weights[:] = 0.0
+                    continue
+                slots = csr.slots_for(
+                    relation.join_key_array(child.parent_attributes)
+                )
+                factor = np.where(
+                    slots >= 0, key_sums[np.maximum(slots, 0)], 0.0
+                )
                 weights *= factor
             self._weights[node.relation] = weights
 
@@ -120,7 +133,7 @@ class ExactWeightFunction(WeightFunction):
 
     def weights_for(self, node: JoinTreeNode, positions: Sequence[int]) -> np.ndarray:
         """Vectorized weight lookup for several row positions."""
-        return self._weights[node.relation][list(positions)]
+        return self._weights[node.relation][np.asarray(positions, dtype=np.intp)]
 
     def acceptance_bound(self, node: JoinTreeNode) -> Optional[float]:
         return None  # exact weights never reject
@@ -173,16 +186,9 @@ class ExtendedOlkenWeightFunction(WeightFunction):
             return weights
         for child in root.children:
             child_rel = self.query.relation(child.relation)
-            index = child_rel.index_on_columns(child.child_attributes)
-            parent_positions = relation.schema.positions(child.parent_attributes)
-            for pos in range(len(relation)):
-                if weights[pos] == 0.0:
-                    continue
-                row = relation.row(pos)
-                key = tuple(row[p] for p in parent_positions)
-                lookup = key if len(key) > 1 else key[0]
-                if index.degree(lookup) == 0:
-                    weights[pos] = 0.0
+            csr = child_rel.sorted_index_on_columns(child.child_attributes)
+            slots = csr.slots_for(relation.join_key_array(child.parent_attributes))
+            weights[slots < 0] = 0.0
         return weights
 
     @property
@@ -196,6 +202,12 @@ class ExtendedOlkenWeightFunction(WeightFunction):
         if node.is_root:
             return float(self._root_weights[position])
         return self._cap[node.relation]
+
+    def weights_for(self, node: JoinTreeNode, positions: Sequence[int]) -> np.ndarray:
+        """Vectorized weight lookup (constant ``cap`` below the root)."""
+        if node.is_root:
+            return self._root_weights[np.asarray(positions, dtype=np.intp)]
+        return np.full(len(positions), self._cap[node.relation], dtype=float)
 
     def cap(self, relation: str) -> float:
         """Per-node constant ``cap`` (bound on any row's subtree result count)."""

@@ -74,4 +74,56 @@ def bernoulli(rng: np.random.Generator, probability: float) -> bool:
     return bool(rng.random() < p)
 
 
-__all__ = ["RandomState", "ensure_rng", "spawn_rngs", "weighted_choice", "bernoulli"]
+class BatchedCategorical:
+    """Draws from a fixed categorical distribution in batches.
+
+    The union samplers select one join per iteration from a distribution that
+    only changes when parameters are refined; drawing those selections one
+    multinomial batch at a time amortizes the per-draw RNG and normalization
+    cost.  All-zero (or empty) weights fall back to a uniform choice, matching
+    the scalar ``_select_join`` behaviour.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        items: Sequence,
+        weights: Iterable[float],
+        batch_size: int = 256,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._rng = rng
+        self._items = list(items)
+        if not self._items:
+            raise ValueError("at least one item is required")
+        w = np.asarray([max(float(x), 0.0) for x in weights], dtype=float)
+        if len(w) != len(self._items):
+            raise ValueError("items and weights must have the same length")
+        total = w.sum()
+        self._probabilities = w / total if total > 0 else None
+        self._batch_size = batch_size
+        self._queue: list = []
+
+    def draw(self):
+        """One item, drawn with probability proportional to its weight."""
+        if not self._queue:
+            if self._probabilities is None:
+                indices = self._rng.integers(0, len(self._items), size=self._batch_size)
+            else:
+                indices = self._rng.choice(
+                    len(self._items), size=self._batch_size, p=self._probabilities
+                )
+            self._queue = [self._items[int(i)] for i in indices]
+            self._queue.reverse()  # pop() consumes in draw order
+        return self._queue.pop()
+
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_rngs",
+    "weighted_choice",
+    "bernoulli",
+    "BatchedCategorical",
+]

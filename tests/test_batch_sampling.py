@@ -1,0 +1,269 @@
+"""Batch/scalar equivalence of the vectorized sampling engine.
+
+The batched descent (`JoinSampler.sample_batch`, `WanderJoin.walk_batch`) must
+produce samples identically distributed to the scalar reference paths: same
+acceptance rates, same uniformity over the join result, same walk success
+statistics — on chain, acyclic, cyclic, and composite-key joins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.uniformity import chi_square_uniformity
+from repro.joins.conditions import JoinCondition, OutputAttribute
+from repro.joins.executor import join_result_set
+from repro.joins.query import JoinQuery
+from repro.relational.columnar import as_column_array, tuple_key_array
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.relation import Relation
+from repro.sampling.join_sampler import JoinSampler
+from repro.sampling.wander_join import WanderJoin
+from repro.utils.rng import BatchedCategorical, ensure_rng
+
+
+@pytest.fixture
+def composite_query() -> JoinQuery:
+    """R ⋈ S on the composite key (k1, k2), with skewed key degrees."""
+    r_rows = [
+        (1, 10, "x"), (2, 10, "x"), (3, 10, "y"),
+        (4, 20, "x"), (5, 20, "y"), (6, 30, "z"),
+    ]
+    s_rows = [
+        (10, "x", 100), (10, "x", 101), (10, "x", 102),
+        (10, "y", 200),
+        (20, "x", 300), (20, "y", 400), (20, "y", 401),
+        (40, "z", 900),
+    ]
+    return JoinQuery(
+        "composite",
+        [Relation("R", ["a", "k1", "k2"], r_rows), Relation("S", ["k1", "k2", "c"], s_rows)],
+        [JoinCondition("R", "k1", "S", "k1"), JoinCondition("R", "k2", "S", "k2")],
+        [OutputAttribute("a", "R", "a"), OutputAttribute("c", "S", "c")],
+    )
+
+
+@pytest.fixture
+def string_key_query() -> JoinQuery:
+    """Chain join whose join attribute is a string column (typed '<U' arrays)."""
+    r = Relation("R", ["a", "b"], [(i, "k%d" % (i % 3)) for i in range(9)])
+    s = Relation("S", ["b", "c"], [("k0", 1), ("k0", 2), ("k1", 3), ("k2", 4), ("k2", 5)])
+    return JoinQuery(
+        "stringkeys",
+        [r, s],
+        [JoinCondition("R", "b", "S", "b")],
+        [OutputAttribute("a", "R", "a"), OutputAttribute("c", "S", "c")],
+    )
+
+
+class TestSortedIndex:
+    def test_csr_layout_matches_hash_index(self):
+        idx = HashIndex.build([10, 20, 10, 30, 10], "a")
+        csr = SortedIndex.from_hash_index(idx)
+        assert csr.total_rows == 5
+        assert csr.n_keys == 3
+        for value in (10, 20, 30, 99):
+            assert sorted(csr.positions(value).tolist()) == sorted(idx.positions(value))
+            assert csr.degree(value) == idx.degree(value)
+
+    def test_slots_for_numeric_fast_path(self):
+        csr = SortedIndex.from_hash_index(HashIndex.build([5, 7, 5, 9], "a"))
+        values = np.asarray([5, 9, 6, 7, 11])
+        slots = csr.slots_for(values)
+        assert slots[2] == -1 and slots[4] == -1
+        assert csr.row_positions[csr.offsets[slots[0]]] in (0, 2)
+
+    def test_slots_for_object_fallback(self):
+        csr = SortedIndex.from_hash_index(
+            HashIndex.build([(1, "a"), (2, "b"), (1, "a")], "k")
+        )
+        slots = csr.slots_for(tuple_key_array([as_column_array([1, 2, 3]),
+                                               as_column_array(["a", "b", "a"])]))
+        assert slots[2] == -1
+        assert sorted(csr.positions((1, "a")).tolist()) == [0, 2]
+
+    def test_segment_sums(self):
+        csr = SortedIndex.from_hash_index(HashIndex.build([1, 2, 1, 2, 2], "a"))
+        row_values = np.asarray([1.0, 10.0, 2.0, 20.0, 30.0])
+        sums = csr.segment_sums(row_values)
+        assert sums[csr.slot(1)] == pytest.approx(3.0)
+        assert sums[csr.slot(2)] == pytest.approx(60.0)
+
+    def test_empty_index(self):
+        csr = SortedIndex.from_hash_index(HashIndex.build([], "a"))
+        assert csr.n_keys == 0 and csr.total_rows == 0
+        assert csr.positions(1).size == 0
+        assert csr.segment_sums(np.zeros(0)).size == 0
+
+
+class TestColumnarRelation:
+    def test_column_array_matches_rows_and_invalidates(self):
+        rel = Relation("R", ["a", "b"], [(1, "x"), (2, "y")])
+        assert rel.column_array("a").tolist() == [1, 2]
+        rel.append((3, "z"))
+        assert rel.column_array("a").tolist() == [1, 2, 3]
+        rel.extend([(4, "w")])
+        assert rel.column_array("b").tolist() == ["x", "y", "z", "w"]
+
+    def test_join_key_array_composite(self):
+        rel = Relation("R", ["a", "b"], [(1, "x"), (2, "y")])
+        keys = rel.join_key_array(["a", "b"])
+        assert keys.tolist() == [(1, "x"), (2, "y")]
+
+    def test_extend_validates_before_mutating(self):
+        rel = Relation("R", ["a", "b"], [(1, 2)])
+        with pytest.raises(ValueError):
+            rel.extend([(3, 4), (5,)])
+        assert len(rel) == 1  # the valid prefix must not be half-applied
+
+    def test_sorted_index_cached_and_invalidated(self):
+        rel = Relation("R", ["a"], [(1,), (1,), (2,)])
+        csr = rel.sorted_index_on_columns(["a"])
+        assert rel.sorted_index_on_columns(["a"]) is csr
+        rel.append((2,))
+        assert rel.sorted_index_on_columns(["a"]) is not csr
+
+
+class TestBatchScalarEquivalence:
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_acceptance_rate_matches_scalar(self, chain_query, weights):
+        scalar = JoinSampler(chain_query, weights=weights, seed=101)
+        accepted = sum(1 for _ in range(3000) if scalar.try_sample() is not None)
+        batched = JoinSampler(chain_query, weights=weights, seed=202)
+        batched.sample_batch(accepted or 1)
+        assert batched.stats.acceptance_rate == pytest.approx(
+            scalar.stats.acceptance_rate, abs=0.08
+        )
+
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_chain_uniformity(self, chain_query, weights):
+        sampler = JoinSampler(chain_query, weights=weights, seed=31)
+        population = sorted(join_result_set(chain_query))
+        draws = sampler.sample_batch(1500)
+        result = chi_square_uniformity([d.value for d in draws], population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_acyclic_uniformity(self, acyclic_query, weights):
+        sampler = JoinSampler(acyclic_query, weights=weights, seed=37)
+        population = sorted(join_result_set(acyclic_query))
+        draws = sampler.sample_batch(1200)
+        result = chi_square_uniformity([d.value for d in draws], population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_cyclic_uniformity(self, cyclic_query, weights):
+        sampler = JoinSampler(cyclic_query, weights=weights, seed=41)
+        population = sorted(join_result_set(cyclic_query))
+        draws = sampler.sample_batch(900)
+        result = chi_square_uniformity([d.value for d in draws], population)
+        assert not result.rejects_uniformity(alpha=0.001)
+        assert sampler.stats.rejected_residual > 0
+
+    @pytest.mark.parametrize("weights", ["ew", "eo"])
+    def test_composite_key_uniformity(self, composite_query, weights):
+        sampler = JoinSampler(composite_query, weights=weights, seed=43)
+        population = sorted(join_result_set(composite_query))
+        assert population  # fixture sanity: the composite join is non-empty
+        draws = sampler.sample_batch(1500)
+        result = chi_square_uniformity([d.value for d in draws], population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_mixed_type_key_column_keeps_all_results(self):
+        """A join-key column mixing ints and strings must not be stringified
+        by the columnar layer (np.asarray([1, 'x']) -> ['1', 'x']), which
+        would silently drop the integer-keyed join results."""
+        r = Relation("R", ["k", "a"], [(1, 10), ("x", 20)])
+        s = Relation("S", ["k", "b"], [(1, 100), ("x", 200)])
+        query = JoinQuery(
+            "mixed",
+            [r, s],
+            [JoinCondition("R", "k", "S", "k")],
+            [OutputAttribute("a", "R", "a"), OutputAttribute("b", "S", "b")],
+        )
+        sampler = JoinSampler(query, weights="ew", seed=67)
+        assert sampler.size_bound == 2.0
+        values = {d.value for d in sampler.sample_batch(100)}
+        assert values == {(10, 100), (20, 200)}
+
+    def test_string_key_uniformity(self, string_key_query):
+        sampler = JoinSampler(string_key_query, weights="eo", seed=47)
+        population = sorted(join_result_set(string_key_query))
+        draws = sampler.sample_batch(1200)
+        result = chi_square_uniformity([d.value for d in draws], population)
+        assert not result.rejects_uniformity(alpha=0.001)
+
+    def test_assignments_are_consistent(self, chain_query):
+        sampler = JoinSampler(chain_query, seed=53)
+        for draw in sampler.sample_batch(50):
+            assert chain_query.project_assignment(draw.assignment) == draw.value
+
+    def test_values_are_python_typed(self, chain_query):
+        draw = JoinSampler(chain_query, seed=59).sample_batch(1)[0]
+        assert all(not isinstance(v, np.generic) for v in draw.value)
+        assert all(isinstance(p, int) for p in draw.assignment.values())
+
+    def test_buffer_refill_preserves_counts(self, chain_query):
+        sampler = JoinSampler(chain_query, seed=61)
+        values = [sampler.sample().value for _ in range(300)]
+        assert len(values) == 300
+        assert sampler.stats.accepted >= 300
+
+    def test_empty_join_raises(self):
+        from tests.conftest import make_chain_query
+
+        query = make_chain_query("empty", r_rows=[(1, 99)], s_rows=[(10, 100)])
+        sampler = JoinSampler(query, weights="ew", seed=0)
+        with pytest.raises(RuntimeError):
+            sampler.sample_batch(1, max_attempts=64)
+
+
+class TestWanderJoinBatch:
+    def test_batch_walks_match_scalar_statistics(self, chain_query):
+        scalar = WanderJoin(chain_query, seed=71)
+        scalar_successes = sum(1 for w in (scalar.walk() for _ in range(2000)) if w.success)
+        batched = WanderJoin(chain_query, seed=72)
+        results = batched.walks(2000)
+        assert len(results) == 2000
+        batch_successes = sum(1 for w in results if w.success)
+        assert batch_successes / 2000 == pytest.approx(scalar_successes / 2000, abs=0.06)
+
+    def test_batch_walk_values_and_probabilities(self, chain_query):
+        population = join_result_set(chain_query)
+        walker = WanderJoin(chain_query, seed=73)
+        ht = []
+        for walk in walker.walks(1500):
+            if walk.success:
+                assert walk.value in population
+                assert 0.0 < walk.probability <= 1.0
+                assert chain_query.project_assignment(walk.assignment) == walk.value
+            ht.append(walk.inverse_probability)
+        estimate = sum(ht) / len(ht)
+        assert estimate == pytest.approx(len(population), rel=0.25)
+
+    def test_cyclic_batch_walks_respect_residuals(self, cyclic_query):
+        walker = WanderJoin(cyclic_query, seed=79)
+        population = join_result_set(cyclic_query)
+        for walk in walker.walks(600):
+            if walk.success:
+                assert walk.value in population
+
+
+class TestBatchedCategorical:
+    def test_distribution(self):
+        rng = ensure_rng(7)
+        selector = BatchedCategorical(rng, ["a", "b"], [3.0, 1.0], batch_size=64)
+        draws = [selector.draw() for _ in range(4000)]
+        assert draws.count("a") / 4000 == pytest.approx(0.75, abs=0.04)
+
+    def test_uniform_fallback_on_zero_weights(self):
+        rng = ensure_rng(8)
+        selector = BatchedCategorical(rng, ["a", "b", "c"], [0.0, 0.0, 0.0])
+        draws = {selector.draw() for _ in range(300)}
+        assert draws == {"a", "b", "c"}
+
+    def test_rejects_bad_arguments(self):
+        rng = ensure_rng(9)
+        with pytest.raises(ValueError):
+            BatchedCategorical(rng, [], [])
+        with pytest.raises(ValueError):
+            BatchedCategorical(rng, ["a"], [1.0, 2.0])

@@ -6,9 +6,9 @@ from repro.relational.index import HashIndex
 class TestHashIndex:
     def test_build_from_values(self):
         idx = HashIndex.build([10, 20, 10, 30], "a")
-        assert idx.positions(10) == [0, 2]
-        assert idx.positions(20) == [1]
-        assert idx.positions(99) == []
+        assert idx.positions(10) == (0, 2)
+        assert idx.positions(20) == (1,)
+        assert idx.positions(99) == ()
 
     def test_degree(self):
         idx = HashIndex.build(["x", "y", "x", "x"], "a")
@@ -30,14 +30,14 @@ class TestHashIndex:
         assert len(idx) == 0
         assert idx.max_degree == 0
         assert idx.total_rows == 0
-        assert idx.positions(1) == []
+        assert idx.positions(1) == ()
 
     def test_values_and_items(self):
         idx = HashIndex.build([1, 2, 1], "a")
         assert set(idx.values()) == {1, 2}
-        assert dict(idx.items()) == {1: [0, 2], 2: [1]}
+        assert dict(idx.items()) == {1: (0, 2), 2: (1,)}
 
     def test_tuple_keys_supported(self):
         idx = HashIndex.build([(1, "a"), (1, "b"), (1, "a")], "composite")
-        assert idx.positions((1, "a")) == [0, 2]
+        assert idx.positions((1, "a")) == (0, 2)
         assert idx.max_degree == 2

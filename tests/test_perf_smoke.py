@@ -1,0 +1,68 @@
+"""Performance smoke gate for the batched sampling engine.
+
+A tiny-scale version of ``benchmarks/bench_micro.py`` wired into tier-1: the
+batched path must deliver at least the scalar reference path's throughput, so
+a regression that silently disables the vectorized engine fails the test
+suite rather than only the (optional) benchmark run.  Thresholds are
+deliberately loose — the real speedup is recorded in
+``BENCH_batch_engine.json`` — to keep the test robust on noisy CI machines.
+"""
+
+import time
+
+import pytest
+
+from repro.sampling.join_sampler import JoinSampler
+from repro.tpch.workloads import build_uq2
+
+SMOKE_SCALE = 0.0005
+SMOKE_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def smoke_query():
+    return build_uq2(scale_factor=SMOKE_SCALE, seed=SMOKE_SEED).queries[0]
+
+
+def _scalar_rate(sampler: JoinSampler, attempts: int) -> float:
+    accepted = 0
+    started = time.perf_counter()
+    for _ in range(attempts):
+        if sampler.try_sample() is not None:
+            accepted += 1
+    elapsed = time.perf_counter() - started
+    assert accepted > 0, "scalar path accepted nothing; smoke workload broken"
+    return accepted / elapsed
+
+
+def _batch_rate(sampler: JoinSampler, count: int) -> float:
+    started = time.perf_counter()
+    draws = sampler.sample_batch(count)
+    elapsed = time.perf_counter() - started
+    assert len(draws) == count
+    return count / elapsed
+
+
+@pytest.mark.parametrize("weights", ["ew", "eo"])
+def test_batch_path_at_least_scalar_throughput(smoke_query, weights):
+    scalar = JoinSampler(smoke_query, weights=weights, seed=11)
+    batched = JoinSampler(smoke_query, weights=weights, seed=13)
+    # Warm both paths so index/plan construction stays outside the timing.
+    for _ in range(50):
+        scalar.try_sample()
+    batched.sample_batch(50)
+
+    scalar_rate = _scalar_rate(scalar, attempts=400)
+    batch_rate = _batch_rate(batched, count=2000)
+    assert batch_rate >= scalar_rate, (
+        f"batched sampling ({batch_rate:.0f}/s) slower than scalar "
+        f"({scalar_rate:.0f}/s) — vectorized engine regressed"
+    )
+
+
+def test_batch_and_scalar_agree_on_acceptance(smoke_query):
+    """Cross-check riding along with the smoke gate: both paths must see the
+    same acceptance behaviour on the smoke workload (EW never rejects)."""
+    sampler = JoinSampler(smoke_query, weights="ew", seed=17)
+    sampler.sample_batch(500)
+    assert sampler.stats.acceptance_rate == pytest.approx(1.0)

@@ -90,13 +90,13 @@ class TestMutation:
 class TestIndexesAndStatistics:
     def test_index_on_caches_and_answers(self, people):
         idx = people.index_on("age")
-        assert idx.positions(30) == [0, 2]
+        assert idx.positions(30) == (0, 2)
         assert people.index_on("age") is idx
 
     def test_index_on_columns_composite(self, people):
         idx = people.index_on_columns(["age", "city"])
-        assert idx.positions((30, "rome")) == [0, 2]
-        assert idx.positions((30, "oslo")) == []
+        assert idx.positions((30, "rome")) == (0, 2)
+        assert idx.positions((30, "oslo")) == ()
 
     def test_index_on_columns_single_delegates(self, people):
         assert people.index_on_columns(["age"]) is people.index_on("age")
