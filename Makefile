@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-full
+.PHONY: test bench bench-updates bench-full
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -8,6 +8,11 @@ test:
 # Batched-engine micro-benchmark: writes BENCH_batch_engine.json at the root.
 bench:
 	PYTHONPATH=$(PYTHONPATH) python scripts/bench_batch_engine.py
+
+# Incremental-update benchmark (delta maintenance vs full rebuild under an
+# RF1/RF2 refresh stream): writes BENCH_updates.json at the root.
+bench-updates:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_updates.py
 
 # Full pytest-benchmark harness (paper figures + micro benchmarks).
 bench-full:

@@ -27,6 +27,17 @@ from repro.core import (
     SetUnionSampler,
     UnionSample,
 )
+from repro.dynamic import (
+    DeleteEvent,
+    EpochReport,
+    InsertEvent,
+    StreamingScenario,
+    TPCHRefreshStream,
+    UpdateBatch,
+    apply_batch,
+    apply_event,
+    build_order_stream_scenario,
+)
 from repro.estimation import (
     FullJoinUnion,
     FullJoinUnionEstimator,
@@ -55,6 +66,7 @@ from repro.relational import (
     HashIndex,
     InSet,
     Relation,
+    RelationDelta,
     Schema,
 )
 from repro.sampling import (
@@ -82,6 +94,7 @@ __all__ = [
     "Attribute",
     "Schema",
     "Relation",
+    "RelationDelta",
     "HashIndex",
     "Comparison",
     "InSet",
@@ -127,6 +140,16 @@ __all__ = [
     "build_uq2",
     "build_uq3",
     "build_workload",
+    # dynamic (streaming) scenarios
+    "InsertEvent",
+    "DeleteEvent",
+    "UpdateBatch",
+    "TPCHRefreshStream",
+    "apply_event",
+    "apply_batch",
+    "EpochReport",
+    "StreamingScenario",
+    "build_order_stream_scenario",
     # analysis
     "chi_square_uniformity",
     "mean_ratio_error",

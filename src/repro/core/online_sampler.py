@@ -123,10 +123,52 @@ class OnlineUnionSampler:
         self._live_count = 0
 
     # ------------------------------------------------------------------ public
+    def refresh(self) -> bool:
+        """Start a new epoch after the base relations mutated.
+
+        Returns True when any underlying relation was stale.  The per-join
+        samplers re-sync themselves (delta-maintained weights/plans); this
+        method additionally drops everything whose validity was tied to the
+        previous database snapshot: the reuse pools (their walk probabilities
+        were computed against old degrees), the recorded draws and accepted
+        samples (uniform over the *old* union, not the new one), the
+        membership cache, and the join-selection distribution, which is
+        re-estimated from the delta-maintained histogram statistics.  Samples
+        returned before the refresh remain valid uniform draws over the
+        snapshot they were taken from.
+        """
+        refreshed = [sampler.refresh() for sampler in self.join_samplers.values()]
+        if not any(refreshed):
+            return False
+        with self.stats.timer.phase("refresh"):
+            estimator = HistogramUnionEstimator(self.queries, join_size_method="eo")
+            self.parameters = estimator.estimate()
+            self._probabilities = self.parameters.selection_probabilities(use_cover=True)
+            self._selector = None
+            self._pools = {name: [] for name in self.names}
+            self._records = {name: [] for name in self.names}
+            self._records_since_update = 0
+            self._orig_join = {}
+            self._accepted = []
+            self._value_slots = {}
+            self._live_count = 0
+            self._membership_cache.clear()
+            self.confidence_level = 0.0
+        return True
+
     def sample(self, count: int) -> SampleResult:
-        """Draw ``count`` samples from the set union."""
+        """Draw ``count`` samples from the set union.
+
+        Staleness is detected automatically: if a base relation mutated since
+        the last epoch, :meth:`refresh` runs first — the membership cache and
+        selection probabilities must never outlive the snapshot they were
+        computed from, or the union sample silently biases.  (The per-join
+        samplers refresh themselves, but uniformity over the *union* also
+        depends on this class's own cached state.)
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
+        self.refresh()
         max_iterations = max(count, 1) * self.max_iterations_factor
         while self._live_count < count:
             if self.stats.iterations >= max_iterations:

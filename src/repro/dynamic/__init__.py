@@ -1,0 +1,42 @@
+"""Dynamic (streaming) scenarios: sampling over a mutating database.
+
+The paper's samplers assume static base relations; this layer lifts that
+assumption.  It provides
+
+* :mod:`repro.dynamic.stream` — typed insert/delete events, TPC-H
+  RF1/RF2-style refresh streams over the generated tables, and appliers that
+  route events through the relations' O(Δ) delta-maintenance path;
+* :mod:`repro.dynamic.scenario` — a driver that interleaves update batches
+  with sampling epochs, exercising the epoch/staleness protocol of
+  :class:`~repro.sampling.join_sampler.JoinSampler`,
+  :class:`~repro.sampling.wander_join.WanderJoin` and
+  :class:`~repro.core.online_sampler.OnlineUnionSampler` against live data.
+
+See ``docs/updates.md`` for the maintenance design this layer rides on.
+"""
+
+from repro.dynamic.scenario import (
+    EpochReport,
+    StreamingScenario,
+    build_order_stream_scenario,
+)
+from repro.dynamic.stream import (
+    DeleteEvent,
+    InsertEvent,
+    TPCHRefreshStream,
+    UpdateBatch,
+    apply_batch,
+    apply_event,
+)
+
+__all__ = [
+    "DeleteEvent",
+    "InsertEvent",
+    "UpdateBatch",
+    "TPCHRefreshStream",
+    "apply_batch",
+    "apply_event",
+    "EpochReport",
+    "StreamingScenario",
+    "build_order_stream_scenario",
+]

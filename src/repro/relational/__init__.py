@@ -6,7 +6,13 @@ predicates, and the physical operators needed both by the sampling framework
 truth (hash joins, set/disjoint union).
 """
 
-from repro.relational.columnar import ColumnStore, as_column_array, tuple_key_array
+from repro.relational.columnar import (
+    ColumnStore,
+    as_column_array,
+    concat_column_arrays,
+    tuple_key_array,
+)
+from repro.relational.delta import RelationDelta
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.operators import (
     difference,
@@ -43,11 +49,13 @@ __all__ = [
     "Schema",
     "ATTRIBUTE_TYPES",
     "Relation",
+    "RelationDelta",
     "Row",
     "HashIndex",
     "SortedIndex",
     "ColumnStore",
     "as_column_array",
+    "concat_column_arrays",
     "tuple_key_array",
     "ColumnStatistics",
     "EquiWidthHistogram",

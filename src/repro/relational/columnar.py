@@ -40,6 +40,27 @@ def _object_array(values: Sequence[object]) -> np.ndarray:
     return array
 
 
+def concat_column_arrays(base: np.ndarray, tail: np.ndarray) -> np.ndarray:
+    """Concatenate two column arrays preserving row identity.
+
+    Same-kind arrays concatenate natively (NumPy widens string widths and
+    numeric precision as needed); anything else — object arrays or kind
+    mismatches such as an int column receiving a string — falls back to one
+    object array, matching what :func:`as_column_array` would build from the
+    combined values.
+    """
+    if (
+        base.dtype == object
+        or tail.dtype == object
+        or base.dtype.kind != tail.dtype.kind
+    ):
+        out = np.empty(len(base) + len(tail), dtype=object)
+        out[: len(base)] = base.tolist()
+        out[len(base) :] = tail.tolist()
+        return out
+    return np.concatenate([base, tail])
+
+
 def tuple_key_array(columns: Sequence[np.ndarray]) -> np.ndarray:
     """Object array of per-row key tuples from several column arrays."""
     if not columns:
@@ -98,5 +119,79 @@ class ColumnStore:
         self._arrays.clear()
         self._key_arrays.clear()
 
+    # ------------------------------------------------------------- maintenance
+    def apply_delta(self, delta, inserted_rows: Sequence[Tuple]) -> None:
+        """Patch every cached array in place of a full rebuild.
 
-__all__ = ["ColumnStore", "as_column_array", "tuple_key_array"]
+        Deletions/moves become one vectorized gather + truncation, insertions
+        one concatenation, replacements one fancy assignment.  An array whose
+        dtype cannot safely hold a replacement value (e.g. a wider string into
+        a fixed-width ``<U`` column) is dropped and rebuilt lazily on next
+        access — correctness first, incrementality where it is safe.
+        """
+        for attribute in list(self._arrays):
+            position = self._schema.position(attribute)
+            patched = self._patched(
+                self._arrays[attribute],
+                delta,
+                lambda row, p=position: row[p],
+                inserted_rows,
+            )
+            if patched is None:
+                del self._arrays[attribute]
+            else:
+                self._arrays[attribute] = patched
+        for attrs in list(self._key_arrays):
+            positions = self._schema.positions(attrs)
+            patched = self._patched(
+                self._key_arrays[attrs],
+                delta,
+                lambda row, ps=positions: tuple(row[p] for p in ps),
+                inserted_rows,
+            )
+            if patched is None:
+                del self._key_arrays[attrs]
+            else:
+                self._key_arrays[attrs] = patched
+
+    def _patched(self, base, delta, project, inserted_rows):
+        """One array patched by ``delta``; None when it must be rebuilt."""
+        survivors = delta.new_size - len(delta.inserted)
+        arr = base
+        if delta.deleted or delta.moved:
+            arr = base.copy()
+            if delta.moved:
+                arr[[new for _, new in delta.moved]] = base[
+                    [old for old, _ in delta.moved]
+                ]
+            arr = arr[:survivors]
+        replacements = [
+            (position, project(new_row))
+            for position, old_row, new_row in delta.replaced
+            if project(old_row) != project(new_row)
+        ]
+        if replacements:
+            if arr is base:
+                arr = base.copy()
+            if arr.dtype == object:
+                for position, value in replacements:
+                    arr[position] = value
+            else:
+                values = as_column_array([v for _, v in replacements])
+                if values.dtype == object or not np.can_cast(
+                    values.dtype, arr.dtype, casting="safe"
+                ):
+                    return None  # dtype cannot hold the new values: rebuild
+                arr[[p for p, _ in replacements]] = values
+        if delta.inserted:
+            tail = as_column_array([project(row) for row in inserted_rows])
+            arr = concat_column_arrays(arr, tail)
+        return arr
+
+
+__all__ = [
+    "ColumnStore",
+    "as_column_array",
+    "concat_column_arrays",
+    "tuple_key_array",
+]

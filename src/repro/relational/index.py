@@ -18,7 +18,7 @@ of parent keys" is a handful of NumPy gathers instead of per-row dict lookups.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -35,7 +35,11 @@ class HashIndex:
         self._buckets: Dict[object, Tuple[int, ...]] = {
             value: tuple(positions) for value, positions in buckets.items()
         }
-        self._max_degree = max((len(v) for v in self._buckets.values()), default=0)
+        # None means "recompute on next access" (set when a delta shrinks the
+        # bucket that held the maximum).
+        self._max_degree: Optional[int] = max(
+            (len(v) for v in self._buckets.values()), default=0
+        )
         self._total_rows = sum(len(v) for v in self._buckets.values())
 
     @classmethod
@@ -70,10 +74,96 @@ class HashIndex:
         """Iterate over ``(value, positions)`` pairs."""
         return iter(self._buckets.items())
 
+    # ------------------------------------------------------------- maintenance
+    def apply_delta(
+        self,
+        removed: Sequence[Tuple[object, int]],
+        moved: Sequence[Tuple[object, int, int]],
+        added: Sequence[Tuple[object, int]],
+    ) -> None:
+        """Apply one mutation batch without rebuilding the whole index.
+
+        ``removed``/``added`` carry ``(key value, row position)`` pairs;
+        ``moved`` carries ``(key value, old position, new position)`` for rows
+        relocated by the swap-remove deletion scheme.  Only the buckets of
+        affected key values are rebuilt — O(Δ · bucket) work — and the cached
+        maximum degree is invalidated lazily when the maximal bucket shrinks.
+        """
+        # key value -> (positions to drop, old -> new remap, positions to add)
+        changes: Dict[object, Tuple[set, Dict[int, int], List[int]]] = {}
+
+        def slot(value: object) -> Tuple[set, Dict[int, int], List[int]]:
+            entry = changes.get(value)
+            if entry is None:
+                entry = (set(), {}, [])
+                changes[value] = entry
+            return entry
+
+        for value, position in removed:
+            slot(value)[0].add(position)
+        for value, old, new in moved:
+            slot(value)[1][old] = new
+        for value, position in added:
+            slot(value)[2].append(position)
+
+        for value, (drop, remap, add) in changes.items():
+            bucket = self._buckets.get(value, ())
+            if drop or remap:
+                if len(bucket) >= 1024:
+                    # Large buckets (low-cardinality columns) take a
+                    # vectorized path: the per-element Python loop would cost
+                    # milliseconds per bucket, np.isin microseconds.
+                    arr = np.fromiter(bucket, dtype=np.intp, count=len(bucket))
+                    if drop:
+                        arr = arr[
+                            ~np.isin(
+                                arr,
+                                np.fromiter(drop, dtype=np.intp, count=len(drop)),
+                            )
+                        ]
+                    if remap:
+                        hits = np.isin(
+                            arr,
+                            np.fromiter(remap, dtype=np.intp, count=len(remap)),
+                        )
+                        if hits.any():
+                            arr[hits] = np.fromiter(
+                                (remap[p] for p in arr[hits].tolist()),
+                                dtype=np.intp,
+                                count=int(hits.sum()),
+                            )
+                    kept = arr.tolist()
+                else:
+                    kept = [remap.get(p, p) for p in bucket if p not in drop]
+                if len(kept) != len(bucket) - len(drop):
+                    raise KeyError(
+                        f"delta removes positions {drop!r} not all present "
+                        f"under key {value!r} of index {self.attribute!r}"
+                    )
+                new_bucket = tuple(kept) + tuple(add)
+            else:
+                new_bucket = bucket + tuple(add)
+            if (
+                self._max_degree is not None
+                and len(new_bucket) < len(bucket) == self._max_degree
+            ):
+                self._max_degree = None  # the maximal bucket shrank
+            if new_bucket:
+                self._buckets[value] = new_bucket
+                if self._max_degree is not None:
+                    self._max_degree = max(self._max_degree, len(new_bucket))
+            else:
+                self._buckets.pop(value, None)
+        self._total_rows += len(added) - len(removed)
+
     # -------------------------------------------------------------- statistics
     @property
     def max_degree(self) -> int:
         """Maximum number of rows sharing one value (``M_A(R)``)."""
+        if self._max_degree is None:
+            self._max_degree = max(
+                (len(v) for v in self._buckets.values()), default=0
+            )
         return self._max_degree
 
     @property
@@ -99,7 +189,9 @@ class SortedIndex:
     offsets:
         CSR offsets of length ``n_keys + 1``: the positions of key slot ``i``
         are ``row_positions[offsets[i]:offsets[i + 1]]``.  Every slot is
-        non-empty by construction (a key only exists if some row holds it).
+        non-empty at build time (a key only exists if some row holds it);
+        deletions may leave zero-degree slots behind until the next lazy
+        compaction, and every consumer treats those as "no joinable rows".
 
     Key values map to slots either through a vectorized ``searchsorted`` over
     a sorted key array (homogeneous numeric/string keys) or through a plain
@@ -129,14 +221,23 @@ class SortedIndex:
         # callers cannot corrupt the index (same invariant as HashIndex).
         self.row_positions.setflags(write=False)
         self.offsets.setflags(write=False)
+        # Invariant: dict insertion order equals slot order (maintained by
+        # apply_delta when keys are added or slots are compacted away).
         self._slot_of: Dict[object, int] = {key: i for i, key in enumerate(keys)}
         self._sorted_keys: np.ndarray | None = None
         self._sorted_slots: np.ndarray | None = None
+        self._rebuild_sorted_lookup()
+
+    def _rebuild_sorted_lookup(self) -> None:
+        """(Re)build the vectorized key -> slot lookup arrays."""
+        keys = list(self._slot_of)
+        self._sorted_keys = None
+        self._sorted_slots = None
         if keys and len({type(k) for k in keys}) == 1:
             # Mixed-type keys must stay on the dict path: np.asarray would
             # silently stringify them and corrupt the searchsorted lookup.
             try:
-                key_array = np.asarray(list(keys))
+                key_array = np.asarray(keys)
             except (ValueError, TypeError):  # pragma: no cover - exotic keys
                 key_array = np.empty(0, dtype=object)
             if key_array.ndim == 1 and key_array.dtype != object:
@@ -219,17 +320,156 @@ class SortedIndex:
     def __len__(self) -> int:
         return self.n_keys
 
+    # ------------------------------------------------------------- maintenance
+    def apply_delta(
+        self,
+        removed: Sequence[Tuple[object, int]],
+        moved: Sequence[Tuple[int, int]],
+        added: Sequence[Tuple[object, int]],
+        old_row_count: int,
+    ) -> None:
+        """Apply one mutation batch to the CSR layout.
+
+        ``removed``/``added`` carry ``(key value, row position)`` pairs
+        (pre-state positions for removals, post-state for additions);
+        ``moved`` carries ``(old position, new position)`` remaps from the
+        swap-remove deletion scheme.  Python-level work is O(Δ + affected
+        segment sizes); array surgery is a handful of vectorized
+        ``np.delete``/``np.insert``/gather calls.  Slots whose segment empties
+        survive as zero-degree slots until enough of them accumulate to be
+        worth one O(n_keys) compaction pass.  Fresh arrays are produced rather
+        than mutated, so previously handed-out views stay internally
+        consistent.
+        """
+        row_positions = np.array(self.row_positions)  # writable copies
+        offsets = np.array(self.offsets)
+        n_keys = len(offsets) - 1
+
+        if removed:
+            by_slot: Dict[int, List[int]] = {}
+            for key, position in removed:
+                slot = self._slot_of.get(key, -1)
+                if slot < 0:
+                    raise KeyError(
+                        f"delta removes key {key!r} absent from CSR index "
+                        f"{self.attribute!r}"
+                    )
+                by_slot.setdefault(slot, []).append(position)
+            del_counts = np.zeros(n_keys, dtype=np.intp)
+            entry_chunks: List[np.ndarray] = []
+            for slot, positions in by_slot.items():
+                start, end = int(offsets[slot]), int(offsets[slot + 1])
+                segment = row_positions[start:end]
+                if len(positions) == 1:
+                    hits = np.nonzero(segment == positions[0])[0]
+                else:
+                    hits = np.nonzero(np.isin(segment, positions))[0]
+                if hits.size != len(positions):
+                    raise KeyError(
+                        f"delta removes positions {positions!r} not all "
+                        f"indexed under slot {slot} of CSR index "
+                        f"{self.attribute!r}"
+                    )
+                entry_chunks.append(start + hits)
+                del_counts[slot] = hits.size
+            row_positions = np.delete(row_positions, np.concatenate(entry_chunks))
+            offsets[1:] -= np.cumsum(del_counts)
+
+        if moved and row_positions.size:
+            remap = np.arange(old_row_count, dtype=np.intp)
+            remap[[old for old, _ in moved]] = [new for _, new in moved]
+            row_positions = remap[row_positions]
+
+        new_key_added = False
+        if added:
+            ins_counts = np.zeros(n_keys, dtype=np.intp)
+            ins_ops: List[Tuple[int, int, int]] = []
+            pending_new: Dict[object, List[int]] = {}
+            for key, position in added:
+                slot = self._slot_of.get(key, -1)
+                if slot >= 0:
+                    ins_ops.append((int(offsets[slot + 1]), slot, position))
+                    ins_counts[slot] += 1
+                else:
+                    pending_new.setdefault(key, []).append(position)
+            if ins_ops:
+                # Distinct slots can share one insertion index when empty
+                # slots sit between them; ordering by (index, slot) keeps each
+                # value inside its own slot's segment.
+                ins_ops.sort(key=lambda op: (op[0], op[1]))
+                row_positions = np.insert(
+                    row_positions,
+                    [op[0] for op in ins_ops],
+                    [op[2] for op in ins_ops],
+                )
+                offsets[1:] += np.cumsum(ins_counts)
+            if pending_new:
+                new_key_added = True
+                chunks: List[int] = []
+                tail_offsets: List[int] = []
+                total = int(offsets[-1])
+                for key, positions in pending_new.items():
+                    self._slot_of[key] = n_keys + len(tail_offsets)
+                    total += len(positions)
+                    tail_offsets.append(total)
+                    chunks.extend(positions)
+                row_positions = np.concatenate(
+                    [row_positions, np.asarray(chunks, dtype=np.intp)]
+                )
+                offsets = np.concatenate(
+                    [offsets, np.asarray(tail_offsets, dtype=np.intp)]
+                )
+
+        # Lazy compaction: emptied slots are tolerated (every consumer treats
+        # a zero-degree slot as "no joinable rows") and reclaimed wholesale
+        # only once they pile up — compaction costs O(n_keys) for the slot
+        # dict, so paying it per emptied key would thrash under delete-heavy
+        # streams of unique keys.
+        degrees = np.diff(offsets)
+        empty_slots = int((degrees == 0).sum())
+        compacted = empty_slots > max(16, len(degrees) // 4)
+        if compacted:
+            keep = degrees > 0
+            offsets = np.concatenate(
+                [np.zeros(1, dtype=np.intp), np.cumsum(degrees[keep])]
+            )
+            # row_positions is already correct: empty segments hold no entries.
+            self._slot_of = {
+                key: i
+                for i, key in enumerate(
+                    key for key, alive in zip(self._slot_of, keep) if alive
+                )
+            }
+
+        self.row_positions = np.asarray(row_positions, dtype=np.intp)
+        self.offsets = np.asarray(offsets, dtype=np.intp)
+        self.row_positions.setflags(write=False)
+        self.offsets.setflags(write=False)
+        if compacted or new_key_added:
+            self._rebuild_sorted_lookup()
+
     # ------------------------------------------------------------ aggregation
     def segment_sums(self, row_values: np.ndarray) -> np.ndarray:
         """Per-key sums of ``row_values`` (indexed by row position).
 
         Equivalent to ``[row_values[positions].sum() for each key]`` but
-        computed with one gather and one ``np.add.reduceat``.
+        computed with one gather and one ``np.add.reduceat``.  Slots emptied
+        by deletions (and not yet compacted) sum to exactly 0.
         """
         if self.n_keys == 0:
             return np.zeros(0, dtype=float)
         gathered = np.asarray(row_values, dtype=float)[self.row_positions]
-        return np.add.reduceat(gathered, self.offsets[:-1])
+        starts = self.offsets[:-1]
+        nonempty = self.offsets[1:] > starts
+        if bool(nonempty.all()):
+            return np.add.reduceat(gathered, starts)
+        # reduceat misreads zero-length segments, so run it over the
+        # non-empty starts only (their segments stay contiguous: empty slots
+        # contribute no elements) and scatter back around zero-filled slots.
+        sums = np.zeros(self.n_keys, dtype=float)
+        if bool(nonempty.any()):
+            sums[nonempty] = np.add.reduceat(gathered, starts[nonempty])
+        return sums
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,16 +13,25 @@ in the paper relies on:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.relational.columnar import ColumnStore
+from repro.relational.delta import RelationDelta
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.schema import Attribute, Schema
 from repro.relational.statistics import ColumnStatistics
 
 Row = Tuple
+
+#: Delta maintenance pays O(Δ · bucket) Python work per cache; once a batch
+#: touches more than this fraction of the relation a full rebuild-on-demand is
+#: cheaper, so `_commit_delta` falls back to wholesale invalidation.
+DELTA_REBUILD_FRACTION = 0.5
+#: Small relations always take the delta path (rebuilds are cheap either way,
+#: and tests exercise the incremental code on hand-sized data).
+DELTA_REBUILD_MIN_ROWS = 64
 
 
 class Relation:
@@ -48,6 +57,12 @@ class Relation:
             raise ValueError("relation name must be non-empty")
         self.name = name
         self.schema = schema if isinstance(schema, Schema) else Schema(schema)
+        self._version = 0
+        #: inserted rows whose cache maintenance is deferred: consecutive
+        #: appends coalesce into ONE delta, applied on next cache access, so
+        #: row-at-a-time ingest stays O(1) per append instead of paying one
+        #: array copy per row (see _flush_pending)
+        self._pending_inserts: list[Row] = []
         self._rows: list[Row] = []
         self._indexes: Dict[str, HashIndex] = {}
         self._sorted_indexes: Dict[str, SortedIndex] = {}
@@ -135,8 +150,24 @@ class Relation:
         return tuple(row[p] for p in positions)
 
     # ------------------------------------------------------------- mutations
+    @property
+    def version(self) -> int:
+        """Monotone epoch counter, bumped once per effective mutation batch.
+
+        Consumers holding state derived from the relation (weight functions,
+        sampler plans, buffered draws) compare this counter against the value
+        they captured at build time to detect staleness; see
+        :meth:`~repro.sampling.join_sampler.JoinSampler.refresh` and
+        ``docs/updates.md``.  No-op mutations (empty ``extend``, a delete
+        matching nothing, an update assigning identical values) are provably
+        cache-preserving and do **not** bump the version.
+        """
+        return self._version
+
     def _invalidate(self) -> None:
         """Drop all caches derived from the row storage."""
+        # Queued insert patches die with the caches: rebuilds read full rows.
+        self._pending_inserts.clear()
         self._indexes.clear()
         self._sorted_indexes.clear()
         self._statistics.clear()
@@ -144,17 +175,29 @@ class Relation:
             self._columns.invalidate()
 
     def append(self, row: Sequence) -> None:
-        """Append a row.  Invalidates indexes and statistics."""
+        """Append a row; cache maintenance is deferred and coalesced.
+
+        The row lands in row storage (and bumps the version) immediately, but
+        the O(Δ)-with-an-array-copy cache patch is queued: consecutive
+        appends/extends merge into one delta applied on the next cache
+        access, so 'for row in rows: rel.append(row)' costs one patch total.
+        """
         tup = tuple(row)
         if len(tup) != len(self.schema):
             raise ValueError(
                 f"row {tup!r} has {len(tup)} fields, schema expects {len(self.schema)}"
             )
         self._rows.append(tup)
-        self._invalidate()
+        self._version += 1
+        if self._has_caches():
+            self._pending_inserts.append(tup)
 
     def extend(self, rows: Iterable[Sequence]) -> None:
-        """Append many rows: validate them all, then invalidate caches once."""
+        """Append many rows: validate them all, then queue one cache patch.
+
+        An empty iterable is a true no-op: caches and the version counter are
+        untouched, so downstream consumers provably see no staleness.
+        """
         width = len(self.schema)
         new_rows = []
         for row in rows:
@@ -164,13 +207,214 @@ class Relation:
                     f"row {tup!r} has {len(tup)} fields, schema expects {width}"
                 )
             new_rows.append(tup)
-        if new_rows:
-            self._rows.extend(new_rows)
+        if not new_rows:
+            return
+        self._rows.extend(new_rows)
+        self._version += 1
+        if self._has_caches():
+            self._pending_inserts.extend(new_rows)
+
+    def _has_caches(self) -> bool:
+        return bool(
+            self._indexes
+            or self._sorted_indexes
+            or self._statistics
+            or self._columns is not None
+        )
+
+    def _flush_pending(self) -> None:
+        """Apply the coalesced insert delta queued by append/extend."""
+        if not self._pending_inserts:
+            return
+        pending = self._pending_inserts
+        self._pending_inserts = []
+        start = len(self._rows) - len(pending)
+        self._apply_cached_delta(
+            RelationDelta(
+                old_size=start,
+                new_size=len(self._rows),
+                inserted=tuple(range(start, len(self._rows))),
+            ),
+            tuple(pending),
+        )
+
+    def delete_rows(self, positions: Iterable[int]) -> int:
+        """Delete the rows at the given positions; returns the count removed.
+
+        Deletion uses *swap-remove*: surviving rows from the tail are moved
+        into the holes so that row storage stays dense (positions in
+        ``[0, len)`` always address live rows — no tombstones).  The relocations
+        are reported to every cache through the resulting delta.
+        """
+        unique = sorted({int(p) for p in positions})
+        if not unique:
+            return 0
+        self._flush_pending()  # positions refer to rows the caches must know
+        size = len(self._rows)
+        if unique[0] < 0 or unique[-1] >= size:
+            raise IndexError(
+                f"delete positions out of range for relation {self.name!r} "
+                f"(|R|={size}): {unique[0]}..{unique[-1]}"
+            )
+        count = len(unique)
+        new_size = size - count
+        deleted = tuple((p, self._rows[p]) for p in unique)
+        doomed = set(unique)
+        holes = [p for p in unique if p < new_size]
+        tail_survivors = [p for p in range(new_size, size) if p not in doomed]
+        moved = tuple(zip(tail_survivors, holes))
+        for old, new in moved:
+            self._rows[new] = self._rows[old]
+        del self._rows[new_size:]
+        self._commit_delta(
+            RelationDelta(
+                old_size=size, new_size=new_size, deleted=deleted, moved=moved
+            ),
+            (),
+        )
+        return count
+
+    def delete_where(self, predicate) -> int:
+        """Delete every row satisfying ``predicate``; returns the count removed.
+
+        ``predicate`` follows the :meth:`select` protocol: a callable taking
+        ``(row, schema)`` or an object with an ``evaluate(row, schema)`` method.
+        """
+        evaluate = getattr(predicate, "evaluate", None) or predicate
+        return self.delete_rows(
+            p for p, row in enumerate(self._rows) if evaluate(row, self.schema)
+        )
+
+    def update_rows(
+        self, positions: Iterable[int], assignments: Mapping[str, object]
+    ) -> int:
+        """Overwrite attributes of the rows at ``positions`` in place.
+
+        ``assignments`` maps attribute name to either a new value or a callable
+        ``old_value -> new_value``.  Rows whose values do not actually change
+        are skipped, so a no-op update preserves caches and the version
+        counter.  Returns the number of rows changed.
+        """
+        resolved = [
+            (self.schema.position(attr), value) for attr, value in assignments.items()
+        ]
+        self._flush_pending()  # positions refer to rows the caches must know
+        size = len(self._rows)
+        changed: list[Tuple[int, Row, Row]] = []
+        for position in sorted({int(p) for p in positions}):
+            if position < 0 or position >= size:
+                raise IndexError(
+                    f"update position {position} out of range for relation "
+                    f"{self.name!r} (|R|={size})"
+                )
+            old = self._rows[position]
+            fields = list(old)
+            for field_pos, value in resolved:
+                fields[field_pos] = value(old[field_pos]) if callable(value) else value
+            new = tuple(fields)
+            if new != old:
+                changed.append((position, old, new))
+        if not changed:
+            return 0
+        for position, _, new in changed:
+            self._rows[position] = new
+        self._commit_delta(
+            RelationDelta(old_size=size, new_size=size, replaced=tuple(changed)),
+            (),
+        )
+        return len(changed)
+
+    def update(self, predicate, assignments: Mapping[str, object]) -> int:
+        """Update every row satisfying ``predicate`` (see :meth:`update_rows`)."""
+        evaluate = getattr(predicate, "evaluate", None) or predicate
+        return self.update_rows(
+            (p for p, row in enumerate(self._rows) if evaluate(row, self.schema)),
+            assignments,
+        )
+
+    # ------------------------------------------------------ delta maintenance
+    def _commit_delta(self, delta: RelationDelta, inserted_rows: Tuple[Row, ...]) -> None:
+        """Record one mutation batch and maintain the derived caches."""
+        self._version += 1
+        if self._has_caches():
+            self._apply_cached_delta(delta, inserted_rows)
+
+    def _apply_cached_delta(
+        self, delta: RelationDelta, inserted_rows: Tuple[Row, ...]
+    ) -> None:
+        """Patch every already-built cache with one delta.
+
+        Small batches patch in O(Δ); batches touching more than
+        ``DELTA_REBUILD_FRACTION`` of the relation fall back to wholesale
+        invalidation (rebuild-on-demand wins there — see docs/updates.md).
+        Caches that were never built stay unbuilt.
+        """
+        threshold = max(
+            DELTA_REBUILD_MIN_ROWS,
+            int(DELTA_REBUILD_FRACTION * max(delta.old_size, 1)),
+        )
+        if delta.touched > threshold:
             self._invalidate()
+            return
+        self._maintain_indexes(delta, inserted_rows)
+        self._maintain_statistics(delta, inserted_rows)
+        if self._columns is not None:
+            self._columns.apply_delta(delta, inserted_rows)
+
+    def _key_projector(self, attrs: Sequence[str]) -> Callable[[Row], object]:
+        """Row -> index-key function matching ``index_on_columns`` keys."""
+        positions = self.schema.positions(attrs)
+        if len(positions) == 1:
+            single = positions[0]
+            return lambda row: row[single]
+        return lambda row: tuple(row[p] for p in positions)
+
+    def _key_changes(
+        self,
+        cache_key: str,
+        delta: RelationDelta,
+        inserted_rows: Tuple[Row, ...],
+    ) -> Tuple[list, list]:
+        """``(removed, added)`` key/position pairs of one delta under the
+        projection named by ``cache_key`` (replacements whose key does not
+        change are dropped — shared by index, CSR, and statistics upkeep)."""
+        keyf = self._key_projector(cache_key.split("\x00"))
+        removed = [(keyf(row), pos) for pos, row in delta.deleted]
+        added = [(keyf(row), pos) for pos, row in zip(delta.inserted, inserted_rows)]
+        for pos, old_row, new_row in delta.replaced:
+            old_key, new_key = keyf(old_row), keyf(new_row)
+            if old_key != new_key:
+                removed.append((old_key, pos))
+                added.append((new_key, pos))
+        return removed, added
+
+    def _maintain_indexes(
+        self, delta: RelationDelta, inserted_rows: Tuple[Row, ...]
+    ) -> None:
+        for cache_key, index in self._indexes.items():
+            keyf = self._key_projector(cache_key.split("\x00"))
+            removed, added = self._key_changes(cache_key, delta, inserted_rows)
+            moved = [
+                (keyf(self._rows[new]), old, new) for old, new in delta.moved
+            ]
+            index.apply_delta(removed, moved, added)
+        for cache_key, csr in self._sorted_indexes.items():
+            removed, added = self._key_changes(cache_key, delta, inserted_rows)
+            csr.apply_delta(removed, list(delta.moved), added, delta.old_size)
+
+    def _maintain_statistics(
+        self, delta: RelationDelta, inserted_rows: Tuple[Row, ...]
+    ) -> None:
+        for cache_key, stats in self._statistics.items():
+            removed, added = self._key_changes(cache_key, delta, inserted_rows)
+            stats.apply_delta(
+                [key for key, _ in removed], [key for key, _ in added]
+            )
 
     # -------------------------------------------------- indexes & statistics
     def index_on(self, attribute: str) -> HashIndex:
         """Hash index on ``attribute``, built lazily and cached."""
+        self._flush_pending()
         if attribute not in self._indexes:
             pos = self.schema.position(attribute)
             self._indexes[attribute] = HashIndex.build(
@@ -180,6 +424,7 @@ class Relation:
 
     def statistics_on(self, attribute: str) -> ColumnStatistics:
         """Column statistics (histogram, max/avg degree) for ``attribute``."""
+        self._flush_pending()
         if attribute not in self._statistics:
             pos = self.schema.position(attribute)
             self._statistics[attribute] = ColumnStatistics.from_values(
@@ -197,6 +442,7 @@ class Relation:
         attrs = tuple(attributes)
         if len(attrs) == 1:
             return self.index_on(attrs[0])
+        self._flush_pending()
         cache_key = "\x00".join(attrs)
         if cache_key not in self._indexes:
             positions = self.schema.positions(attrs)
@@ -211,6 +457,7 @@ class Relation:
         Built lazily from the corresponding hash index and cached; used by the
         batched sampling engine for whole-batch joinability lookups.
         """
+        self._flush_pending()
         attrs = tuple(attributes)
         cache_key = "\x00".join(attrs)
         if cache_key not in self._sorted_indexes:
@@ -223,6 +470,7 @@ class Relation:
     @property
     def columns(self) -> ColumnStore:
         """Lazy per-attribute column arrays backing the batched engine."""
+        self._flush_pending()
         if self._columns is None:
             self._columns = ColumnStore(self.schema, self._rows)
         return self._columns
@@ -244,6 +492,7 @@ class Relation:
         attrs = tuple(attributes)
         if len(attrs) == 1:
             return self.statistics_on(attrs[0])
+        self._flush_pending()
         cache_key = "\x00".join(attrs)
         if cache_key not in self._statistics:
             positions = self.schema.positions(attrs)

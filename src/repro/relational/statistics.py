@@ -40,6 +40,32 @@ class ColumnStatistics:
             freq[v] = freq.get(v, 0) + 1
         return cls(attribute, freq)
 
+    # ------------------------------------------------------------- maintenance
+    def apply_delta(self, removed: Iterable[object], added: Iterable[object]) -> None:
+        """Apply one mutation batch: O(Δ) frequency adjustments.
+
+        ``removed``/``added`` are the column values of the rows a
+        :class:`~repro.relational.delta.RelationDelta` deleted/inserted (moves
+        do not change frequencies).  Frequencies that reach zero are dropped so
+        membership checks stay exact.
+        """
+        freq = self._frequencies
+        for value in removed:
+            count = freq.get(value, 0) - 1
+            if count < 0:
+                raise ValueError(
+                    f"delta removes value {value!r} absent from column "
+                    f"{self.attribute!r} statistics"
+                )
+            if count == 0:
+                del freq[value]
+            else:
+                freq[value] = count
+            self.row_count -= 1
+        for value in added:
+            freq[value] = freq.get(value, 0) + 1
+            self.row_count += 1
+
     # ----------------------------------------------------------------- degrees
     def degree(self, value: object) -> int:
         """``d_A(v, R)``: number of rows with this value (0 when absent)."""

@@ -143,24 +143,32 @@ class JoinSampler:
         self.tree = tree or build_join_tree(query)
         if isinstance(weights, WeightFunction):
             self.weight_function = weights
+            # A prebuilt weight function may predate mutations of the base
+            # relations; re-sync before caching anything derived from it.
+            self.weight_function.refresh()
         else:
             self.weight_function = make_weight_function(weights, query, self.tree)
         self.rng = ensure_rng(seed)
         self.enforce_predicates = enforce_predicates
         self.stats = JoinSamplerStats()
+        #: pre-order node list (root first) for the descent
+        self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
+        self._collect(self.tree.root, None)
+        self._relation_order = [node.relation for node, _ in self._order]
+        self._relations = [self.query.relation(name) for name in self._relation_order]
+        self._db_versions = tuple(r.version for r in self._relations)
+        self._plans: Optional[List[_LevelPlan]] = None
+        self._buffer: Deque[SampleDraw] = deque()
+        self._min_batch_size = 32
+        self._max_batch_size = max(int(max_batch_size), 1)
+        self._load_root_weights()
+
+    def _load_root_weights(self) -> None:
         self._root_weights = np.asarray(self.weight_function.root_weights(), dtype=float)
         self._root_total = float(self._root_weights.sum())
         self._root_cumulative = (
             np.cumsum(self._root_weights) if self._root_total > 0 else None
         )
-        #: pre-order node list (root first) for the descent
-        self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
-        self._collect(self.tree.root, None)
-        self._relation_order = [node.relation for node, _ in self._order]
-        self._plans: Optional[List[_LevelPlan]] = None
-        self._buffer: Deque[SampleDraw] = deque()
-        self._min_batch_size = 32
-        self._max_batch_size = max(int(max_batch_size), 1)
 
     def _collect(self, node: JoinTreeNode, parent: Optional[JoinTreeNode]) -> None:
         self._order.append((node, parent))
@@ -169,13 +177,41 @@ class JoinSampler:
 
     # ----------------------------------------------------------------- public
     @property
+    def stale(self) -> bool:
+        """True when a base relation mutated since the last (re)build."""
+        return tuple(r.version for r in self._relations) != self._db_versions
+
+    def refresh(self) -> bool:
+        """Re-sync with mutated base relations; returns True when stale.
+
+        The epoch protocol: every effective mutation bumps
+        :attr:`Relation.version`; each draw entry point compares those
+        counters (a handful of int comparisons) and, on staleness, refreshes
+        the weight function (which patches only the affected segments),
+        reloads the root CDF, drops the level plans (rebuilt lazily from the
+        delta-maintained CSR indexes), and — critically — discards buffered
+        draws, which describe the *previous* database state.
+        """
+        versions = tuple(r.version for r in self._relations)
+        if versions == self._db_versions:
+            return False
+        self.weight_function.refresh()
+        self._load_root_weights()
+        self._plans = None
+        self._buffer.clear()
+        self._db_versions = versions
+        return True
+
+    @property
     def size_bound(self) -> float:
         """The weight function's total weight (upper bound on the join size)."""
+        self.refresh()
         return self.weight_function.total_weight
 
     def exact_size(self) -> Optional[float]:
         """Exact (skeleton) join size when exact weights are in use, else None."""
         if isinstance(self.weight_function, ExactWeightFunction):
+            self.refresh()
             return self.weight_function.total_weight
         return None
 
@@ -185,6 +221,7 @@ class JoinSampler:
         This is the scalar reference path; :meth:`sample_batch` runs the same
         accept/reject process vectorized over whole batches of walks.
         """
+        self.refresh()
         self.stats.attempts += 1
         if self._root_total <= 0:
             self.stats.rejected_empty += 1
@@ -241,6 +278,7 @@ class JoinSampler:
 
     def sample(self, max_attempts: int = 1_000_000) -> SampleDraw:
         """One accepted sample (refills an internal buffer via the batch path)."""
+        self.refresh()  # a stale buffer must not serve previous-epoch draws
         if self._buffer:
             return self._buffer.popleft()
         draws = self.sample_batch(1, max_attempts=max_attempts)
@@ -260,6 +298,7 @@ class JoinSampler:
         """
         if count < 0:
             raise ValueError("count must be non-negative")
+        self.refresh()
         draws: List[SampleDraw] = []
         while self._buffer and len(draws) < count:
             draws.append(self._buffer.popleft())
@@ -307,12 +346,20 @@ class JoinSampler:
                 )
                 cum_weights = np.cumsum(csr_weights)
                 starts = csr.offsets[:-1]
-                if csr.n_keys:
-                    seg_sums = np.add.reduceat(csr_weights, starts)
-                    seg_prefix = cum_weights[starts] - csr_weights[starts]
-                else:
-                    seg_sums = np.zeros(0, dtype=float)
-                    seg_prefix = np.zeros(0, dtype=float)
+                # Zero-degree slots (deletions pending compaction) sum to 0
+                # and are rejected by the realized-weight filter during the
+                # descent; reduceat runs over non-empty starts only, since it
+                # misreads zero-length segments.
+                seg_sums = np.zeros(csr.n_keys, dtype=float)
+                seg_prefix = np.zeros(csr.n_keys, dtype=float)
+                if csr.n_keys and csr_weights.size:
+                    nonempty = csr.offsets[1:] > starts
+                    if bool(nonempty.any()):
+                        ne_starts = starts[nonempty]
+                        seg_sums[nonempty] = np.add.reduceat(csr_weights, ne_starts)
+                        seg_prefix[nonempty] = (
+                            cum_weights[ne_starts] - csr_weights[ne_starts]
+                        )
                 plans.append(
                     _LevelPlan(
                         node=node,

@@ -251,6 +251,15 @@ class WanderJoin:
                 break
             starts = csr.offsets[slots]
             degrees = csr.offsets[slots + 1] - starts
+            # Zero-degree slots (deletions pending compaction) mean "no
+            # joinable rows": those walks fail exactly like absent keys.
+            alive = degrees > 0
+            if not alive.all():
+                walks = walks[alive]
+                starts = starts[alive]
+                degrees = degrees[alive]
+                if walks.size == 0:
+                    break
             picks = starts + np.minimum(
                 (self.rng.random(walks.size) * degrees).astype(np.intp), degrees - 1
             )

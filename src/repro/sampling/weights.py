@@ -25,7 +25,7 @@ estimator — and lives in :mod:`repro.sampling.wander_join`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,6 +42,50 @@ class WeightFunction(ABC):
     def __init__(self, query: JoinQuery, tree: Optional[JoinTree] = None) -> None:
         self.query = query
         self.tree = tree or build_join_tree(query)
+        self._relation_names = [
+            node.relation for node in self.tree.root.post_order()
+        ]
+        self._versions = self._capture_versions()
+
+    # -------------------------------------------------------------- staleness
+    def _capture_versions(self) -> Dict[str, int]:
+        return {
+            name: self.query.relation(name).version
+            for name in self._relation_names
+        }
+
+    def stale_relations(self) -> Set[str]:
+        """Names of base relations mutated since the weights were computed."""
+        return {
+            name
+            for name in self._relation_names
+            if self.query.relation(name).version != self._versions[name]
+        }
+
+    @property
+    def stale(self) -> bool:
+        """True when some base relation mutated under the weight function."""
+        return bool(self.stale_relations())
+
+    def refresh(self) -> bool:
+        """Re-sync with mutated base relations; returns True when work ran.
+
+        The epoch/staleness protocol: every mutation batch bumps the owning
+        relation's ``version``; ``refresh`` diffs those counters against the
+        versions captured when the weights were computed and recomputes only
+        what the dirty relations can influence (see ``_refresh``).  A call on
+        fresh weights is O(#relations) integer comparisons.
+        """
+        dirty = self.stale_relations()
+        if not dirty:
+            return False
+        self._refresh(dirty)
+        self._versions = self._capture_versions()
+        return True
+
+    def _refresh(self, dirty: Set[str]) -> None:
+        """Recompute state invalidated by the ``dirty`` relations."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ api
     @property
@@ -96,30 +140,78 @@ class ExactWeightFunction(WeightFunction):
     def __init__(self, query: JoinQuery, tree: Optional[JoinTree] = None) -> None:
         super().__init__(query, tree)
         self._weights: Dict[str, np.ndarray] = {}
-        self._compute()
+        #: per join edge (parent, child): sum of child weights per CSR key slot
+        self._key_sums: Dict[Tuple[str, str], np.ndarray] = {}
+        #: per join edge: the parent-row factor (key sums gathered onto rows)
+        self._factors: Dict[Tuple[str, str], np.ndarray] = {}
+        self._compute(dirty=None)
 
-    def _compute(self) -> None:
+    def _compute(self, dirty: Optional[Set[str]]) -> None:
+        """Bottom-up weight computation; ``dirty=None`` means compute all.
+
+        On refresh only the segments the dirty relations can influence are
+        patched: an edge's key sums are recomputed when its child subtree
+        changed, an edge's factor when additionally the parent's own rows
+        changed, and a node whose inputs are all clean is skipped entirely —
+        including the root, whose weight array is the product of per-child
+        factor segments rather than a whole-tree recomputation.
+        """
+        recomputed: Set[str] = set()
+
+        def changed(relation_name: str) -> bool:
+            return (
+                dirty is None
+                or relation_name in dirty
+                or relation_name in recomputed
+            )
+
         for node in self.tree.root.post_order():
-            relation = self.query.relation(node.relation)
+            name = node.relation
+            node_dirty = dirty is None or name in dirty
+            if not node_dirty and not any(changed(c.relation) for c in node.children):
+                continue  # every input clean: cached weights stay valid
+            relation = self.query.relation(name)
             weights = np.ones(len(relation), dtype=float)
             for child in node.children:
-                child_rel = self.query.relation(child.relation)
-                child_weights = self._weights[child.relation]
-                csr = child_rel.sorted_index_on_columns(child.child_attributes)
-                # Per-key sums of the child weights, then one gather per parent
-                # row: weight(parent) *= sum of joinable child weights.
-                key_sums = csr.segment_sums(child_weights)
-                if key_sums.size == 0:
-                    weights[:] = 0.0
-                    continue
-                slots = csr.slots_for(
-                    relation.join_key_array(child.parent_attributes)
-                )
-                factor = np.where(
-                    slots >= 0, key_sums[np.maximum(slots, 0)], 0.0
-                )
-                weights *= factor
-            self._weights[node.relation] = weights
+                edge = (name, child.relation)
+                if changed(child.relation) or edge not in self._key_sums:
+                    child_rel = self.query.relation(child.relation)
+                    csr = child_rel.sorted_index_on_columns(child.child_attributes)
+                    # Per-key sums of the child weights, then one gather per
+                    # parent row: weight(parent) *= sum of joinable child
+                    # weights.
+                    self._key_sums[edge] = csr.segment_sums(
+                        self._weights[child.relation]
+                    )
+                    self._factors.pop(edge, None)
+                if node_dirty or edge not in self._factors:
+                    key_sums = self._key_sums[edge]
+                    if key_sums.size == 0:
+                        factor = np.zeros(len(relation), dtype=float)
+                    else:
+                        child_rel = self.query.relation(child.relation)
+                        csr = child_rel.sorted_index_on_columns(
+                            child.child_attributes
+                        )
+                        slots = csr.slots_for(
+                            relation.join_key_array(child.parent_attributes)
+                        )
+                        factor = np.where(
+                            slots >= 0, key_sums[np.maximum(slots, 0)], 0.0
+                        )
+                    self._factors[edge] = factor
+                weights = weights * self._factors[edge]
+            previous = self._weights.get(name)
+            if (
+                previous is None
+                or previous.shape != weights.shape
+                or not np.array_equal(previous, weights)
+            ):
+                recomputed.add(name)
+            self._weights[name] = weights
+
+    def _refresh(self, dirty: Set[str]) -> None:
+        self._compute(dirty)
 
     @property
     def total_weight(self) -> float:
@@ -165,6 +257,15 @@ class ExtendedOlkenWeightFunction(WeightFunction):
         self.prune_dangling = prune_dangling
         self._cap: Dict[str, float] = {}
         self._max_degree: Dict[str, float] = {}
+        self._compute_caps()
+        self._root_weights = self._compute_root_weights()
+
+    def _refresh(self, dirty: Set[str]) -> None:
+        # Caps are a handful of maintained max-degree lookups and the root
+        # weights one vectorized slot gather, so EO recomputes both wholesale
+        # (the delta-maintained statistics make this O(#relations + |root|)).
+        self._cap.clear()
+        self._max_degree.clear()
         self._compute_caps()
         self._root_weights = self._compute_root_weights()
 

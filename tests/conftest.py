@@ -8,6 +8,7 @@ so that integration tests reuse one generated dataset.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.joins.conditions import JoinCondition, OutputAttribute
@@ -15,6 +16,15 @@ from repro.joins.query import JoinQuery
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, Schema
 from repro.tpch.workloads import build_uq1, build_uq2, build_uq3
+
+from tests.stat_helpers import STAT_SEED
+
+
+# ------------------------------------------------------------------ statistics
+@pytest.fixture
+def stat_rng() -> np.random.Generator:
+    """Fixed-seed generator for statistical tests (see tests/stat_helpers.py)."""
+    return np.random.default_rng(STAT_SEED)
 
 
 # --------------------------------------------------------------------- relations

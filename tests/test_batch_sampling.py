@@ -9,7 +9,6 @@ statistics — on chain, acyclic, cyclic, and composite-key joins.
 import numpy as np
 import pytest
 
-from repro.analysis.uniformity import chi_square_uniformity
 from repro.joins.conditions import JoinCondition, OutputAttribute
 from repro.joins.executor import join_result_set
 from repro.joins.query import JoinQuery
@@ -19,6 +18,8 @@ from repro.relational.relation import Relation
 from repro.sampling.join_sampler import JoinSampler
 from repro.sampling.wander_join import WanderJoin
 from repro.utils.rng import BatchedCategorical, ensure_rng
+
+from tests.stat_helpers import assert_uniform
 
 
 @pytest.fixture
@@ -115,12 +116,22 @@ class TestColumnarRelation:
             rel.extend([(3, 4), (5,)])
         assert len(rel) == 1  # the valid prefix must not be half-applied
 
-    def test_sorted_index_cached_and_invalidated(self):
+    def test_sorted_index_cached_and_maintained(self):
+        """Mutations patch the cached CSR in place (and bump the version)
+        instead of throwing it away — the incremental maintenance contract."""
         rel = Relation("R", ["a"], [(1,), (1,), (2,)])
         csr = rel.sorted_index_on_columns(["a"])
         assert rel.sorted_index_on_columns(["a"]) is csr
+        version = rel.version
         rel.append((2,))
-        assert rel.sorted_index_on_columns(["a"]) is not csr
+        assert rel.version == version + 1
+        maintained = rel.sorted_index_on_columns(["a"])
+        assert maintained is csr
+        assert sorted(maintained.positions(2).tolist()) == [2, 3]
+        rel.delete_rows([0])  # swap-remove: the last row fills position 0
+        assert rel.rows == [(2,), (1,), (2,)]
+        assert sorted(rel.sorted_index_on_columns(["a"]).positions(1).tolist()) == [1]
+        assert sorted(rel.sorted_index_on_columns(["a"]).positions(2).tolist()) == [0, 2]
 
 
 class TestBatchScalarEquivalence:
@@ -139,24 +150,21 @@ class TestBatchScalarEquivalence:
         sampler = JoinSampler(chain_query, weights=weights, seed=31)
         population = sorted(join_result_set(chain_query))
         draws = sampler.sample_batch(1500)
-        result = chi_square_uniformity([d.value for d in draws], population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform([d.value for d in draws], population)
 
     @pytest.mark.parametrize("weights", ["ew", "eo"])
     def test_acyclic_uniformity(self, acyclic_query, weights):
         sampler = JoinSampler(acyclic_query, weights=weights, seed=37)
         population = sorted(join_result_set(acyclic_query))
         draws = sampler.sample_batch(1200)
-        result = chi_square_uniformity([d.value for d in draws], population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform([d.value for d in draws], population)
 
     @pytest.mark.parametrize("weights", ["ew", "eo"])
     def test_cyclic_uniformity(self, cyclic_query, weights):
         sampler = JoinSampler(cyclic_query, weights=weights, seed=41)
         population = sorted(join_result_set(cyclic_query))
         draws = sampler.sample_batch(900)
-        result = chi_square_uniformity([d.value for d in draws], population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform([d.value for d in draws], population)
         assert sampler.stats.rejected_residual > 0
 
     @pytest.mark.parametrize("weights", ["ew", "eo"])
@@ -165,8 +173,7 @@ class TestBatchScalarEquivalence:
         population = sorted(join_result_set(composite_query))
         assert population  # fixture sanity: the composite join is non-empty
         draws = sampler.sample_batch(1500)
-        result = chi_square_uniformity([d.value for d in draws], population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform([d.value for d in draws], population)
 
     def test_mixed_type_key_column_keeps_all_results(self):
         """A join-key column mixing ints and strings must not be stringified
@@ -189,8 +196,7 @@ class TestBatchScalarEquivalence:
         sampler = JoinSampler(string_key_query, weights="eo", seed=47)
         population = sorted(join_result_set(string_key_query))
         draws = sampler.sample_batch(1200)
-        result = chi_square_uniformity([d.value for d in draws], population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform([d.value for d in draws], population)
 
     def test_assignments_are_consistent(self, chain_query):
         sampler = JoinSampler(chain_query, seed=53)

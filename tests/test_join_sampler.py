@@ -2,13 +2,14 @@
 
 import pytest
 
-from repro.analysis.uniformity import chi_square_uniformity
 from repro.joins.executor import execute_join, join_result_set
 from repro.joins.query import JoinQuery
 from repro.joins.conditions import JoinCondition, OutputAttribute
 from repro.relational.predicates import Comparison
 from repro.relational.relation import Relation
 from repro.sampling.join_sampler import JoinSampler
+
+from tests.stat_helpers import assert_uniform
 
 
 class TestBasicSampling:
@@ -53,22 +54,19 @@ class TestUniformity:
         sampler = JoinSampler(chain_query, weights=weights, seed=7)
         population = sorted(join_result_set(chain_query))
         samples = [sampler.sample().value for _ in range(1200)]
-        result = chi_square_uniformity(samples, population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform(samples, population)
 
     def test_acyclic_join_uniformity(self, acyclic_query):
         sampler = JoinSampler(acyclic_query, weights="eo", seed=11)
         population = sorted(join_result_set(acyclic_query))
         samples = [sampler.sample().value for _ in range(1000)]
-        result = chi_square_uniformity(samples, population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform(samples, population)
 
     def test_cyclic_join_uniformity(self, cyclic_query):
         sampler = JoinSampler(cyclic_query, weights="ew", seed=13)
         population = sorted(join_result_set(cyclic_query))
         samples = [sampler.sample().value for _ in range(600)]
-        result = chi_square_uniformity(samples, population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform(samples, population)
 
     def test_skewed_join_uniformity_with_eo(self):
         """A value with much higher degree must not be oversampled under EO."""
@@ -80,8 +78,7 @@ class TestUniformity:
         sampler = JoinSampler(query, weights="eo", seed=17)
         population = sorted(join_result_set(query))
         samples = [sampler.sample().value for _ in range(1400)]
-        result = chi_square_uniformity(samples, population)
-        assert not result.rejects_uniformity(alpha=0.001)
+        assert_uniform(samples, population)
 
 
 class TestRejectionAccounting:

@@ -2,10 +2,11 @@
 
 import pytest
 
-from repro.analysis.uniformity import chi_square_uniformity
 from repro.core.online_sampler import OnlineUnionSampler
 from repro.estimation.random_walk import RandomWalkUnionEstimator
 from repro.joins.executor import join_result_set
+
+from tests.stat_helpers import assert_no_catastrophic_bias
 
 
 def union_values(queries):
@@ -74,14 +75,9 @@ class TestSampling:
         result = sampler.sample(2500)
         values = [s.value for s in result.samples]
         universe = union_values(union_triple)
-        assert set(values) == set(universe)
-        check = chi_square_uniformity(values, universe)
-        # Loose sanity threshold: catastrophic bias (e.g. one value sampled 3x
-        # as often as expected) yields statistics far above this.
-        expected = len(values) / len(universe)
-        worst = max(values.count(u) for u in universe)
-        assert worst < 2.0 * expected
-        assert check.statistic < float("inf")
+        # Loose sanity threshold: catastrophic bias (e.g. one value sampled 2x
+        # as often as expected) fails the shared harness check.
+        assert_no_catastrophic_bias(values, universe, factor=2.0)
 
     def test_backtracking_rounds_triggered(self, union_triple):
         sampler = OnlineUnionSampler(

@@ -18,6 +18,8 @@ from collections import Counter
 import pytest
 from hypothesis import given, settings, strategies as st
 
+import numpy as np
+
 from repro.estimation.union_size import (
     compute_all_overlaps,
     compute_k_overlaps,
@@ -31,6 +33,7 @@ from repro.joins.query import JoinQuery
 from repro.relational.index import HashIndex
 from repro.relational.relation import Relation
 from repro.relational.statistics import ColumnStatistics
+from repro.sampling.join_sampler import JoinSampler
 from repro.sampling.olken import olken_upper_bound
 from repro.sampling.weights import ExactWeightFunction, ExtendedOlkenWeightFunction
 
@@ -153,6 +156,134 @@ class TestUnionCalculusProperties:
             expected = len(set(by_name[name]) - seen)
             assert covers[name] == pytest.approx(expected)
             seen |= set(by_name[name])
+
+
+# -------------------------------------------------------- incremental updates
+#: one mutation of a two-column relation: ("append", row) | ("extend", rows) |
+#: ("delete", key value on column a) | ("update", (row index hint, new a))
+mutation_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.tuples(st.integers(0, 8), st.integers(0, 4))),
+        st.tuples(
+            st.just("extend"),
+            st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), max_size=4),
+        ),
+        st.tuples(st.just("delete"), st.integers(0, 8)),
+        st.tuples(st.just("update"), st.tuples(st.integers(0, 40), st.integers(0, 8))),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _apply_ops(relation: Relation, ops) -> None:
+    for kind, payload in ops:
+        if kind == "append":
+            relation.append(payload)
+        elif kind == "extend":
+            relation.extend(payload)
+        elif kind == "delete":
+            relation.delete_where(
+                lambda row, schema, key=payload: row[schema.position("a")] == key
+            )
+        else:
+            index_hint, new_value = payload
+            if len(relation):
+                relation.update_rows(
+                    [index_hint % len(relation)], {"a": new_value}
+                )
+
+
+class TestIncrementalMaintenanceProperties:
+    """Random interleavings of append/extend/delete/update agree with a
+    from-scratch rebuild of the final row set — for indexes, statistics,
+    column arrays, CSR indexes, and the sampling weights derived from them."""
+
+    @given(rows=st.lists(st.tuples(st.integers(0, 8), st.integers(0, 4)), max_size=20),
+           ops=mutation_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_maintained_structures_match_rebuild(self, rows, ops):
+        relation = Relation("R", ["a", "b"], rows)
+        # Build every cache first so each op exercises the delta path.
+        relation.index_on("a")
+        relation.sorted_index_on_columns(["a"])
+        relation.statistics_on("a")
+        relation.column_array("a")
+        relation.index_on_columns(["a", "b"])
+        _apply_ops(relation, ops)
+        fresh = Relation("F", relation.schema, relation.rows)
+
+        index, rebuilt = relation.index_on("a"), fresh.index_on("a")
+        assert index.total_rows == rebuilt.total_rows
+        assert index.max_degree == rebuilt.max_degree
+        assert set(index.values()) == set(rebuilt.values())
+        for value in rebuilt.values():
+            assert sorted(index.positions(value)) == sorted(rebuilt.positions(value))
+
+        csr, csr_rebuilt = (
+            relation.sorted_index_on_columns(["a"]),
+            fresh.sorted_index_on_columns(["a"]),
+        )
+        assert csr.total_rows == csr_rebuilt.total_rows
+        for value in rebuilt.values():
+            assert sorted(csr.positions(value).tolist()) == sorted(
+                csr_rebuilt.positions(value).tolist()
+            )
+
+        assert (
+            relation.statistics_on("a").frequencies()
+            == fresh.statistics_on("a").frequencies()
+        )
+        assert relation.column_array("a").tolist() == fresh.column_array("a").tolist()
+
+        composite = relation.index_on_columns(["a", "b"])
+        composite_rebuilt = fresh.index_on_columns(["a", "b"])
+        for value in composite_rebuilt.values():
+            assert sorted(composite.positions(value)) == sorted(
+                composite_rebuilt.positions(value)
+            )
+
+    @given(rows_r=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 3)),
+                           min_size=1, max_size=12),
+           rows_s=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 6)),
+                           min_size=1, max_size=12),
+           ops=mutation_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_refreshed_weights_match_exact_size(self, rows_r, rows_s, ops):
+        query = _build_two_relation_query((rows_r, rows_s))
+        weights = ExactWeightFunction(query)
+        _apply_ops(query.relation("R"), ops)
+        weights.refresh()
+        assert weights.total_weight == pytest.approx(
+            exact_join_size(query, distinct=False)
+        )
+        rebuilt = ExactWeightFunction(query)
+        assert np.allclose(weights.root_weights(), rebuilt.root_weights())
+
+    @given(rows_r=st.lists(st.tuples(st.integers(0, 6), st.integers(0, 3)),
+                           min_size=1, max_size=12),
+           rows_s=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 6)),
+                           min_size=1, max_size=12),
+           ops=mutation_ops)
+    @settings(max_examples=25, deadline=None)
+    def test_sample_support_matches_rebuilt_join(self, rows_r, rows_s, ops):
+        """After churn, the maintained sampler's support equals the join of
+        the rebuilt relations (sample-distribution equivalence at the support
+        level; full chi-square equivalence is covered in test_dynamic)."""
+        query = _build_two_relation_query((rows_r, rows_s))
+        sampler = JoinSampler(query, weights="ew", seed=11)
+        _apply_ops(query.relation("R"), ops)
+        population = join_result_set(query)
+        if not population:
+            with pytest.raises(RuntimeError):
+                sampler.sample_batch(1, max_attempts=64)
+            return
+        # Scale draws by the skeleton size: sampling is uniform over join
+        # *results* (with multiplicity), so a distinct value backed by one
+        # result out of n needs ~n draws to appear; 12n makes a miss ~e^-12.
+        skeleton = int(exact_join_size(query, distinct=False))
+        draws = sampler.sample_batch(12 * skeleton)
+        assert {d.value for d in draws} == population
 
 
 # -------------------------------------------------------------------------- joins

@@ -87,6 +87,87 @@ class TestMutation:
             rel.append((1, 2))
 
 
+class TestNoOpMutationsPreserveCaches:
+    """Regression: no-op mutations must be provably cache-preserving — same
+    index/statistics objects, same version — not merely 'decided by flag'."""
+
+    @pytest.fixture
+    def cached(self, people) -> dict:
+        return {
+            "index": people.index_on("age"),
+            "csr": people.sorted_index_on_columns(["age"]),
+            "stats": people.statistics_on("age"),
+            "columns": people.column_array("age"),
+            "version": people.version,
+        }
+
+    def _assert_preserved(self, people, cached):
+        assert people.version == cached["version"]
+        assert people.index_on("age") is cached["index"]
+        assert people.sorted_index_on_columns(["age"]) is cached["csr"]
+        assert people.statistics_on("age") is cached["stats"]
+        assert people.column_array("age") is cached["columns"]
+
+    def test_empty_extend_is_noop(self, people, cached):
+        people.extend([])
+        people.extend(iter(()))
+        self._assert_preserved(people, cached)
+
+    def test_delete_matching_nothing_is_noop(self, people, cached):
+        assert people.delete_where(lambda row, schema: False) == 0
+        assert people.delete_rows([]) == 0
+        self._assert_preserved(people, cached)
+
+    def test_update_assigning_identical_values_is_noop(self, people, cached):
+        assert people.update(lambda row, schema: True, {"age": lambda old: old}) == 0
+        assert people.update_rows([0, 1], {"city": lambda old: old}) == 0
+        self._assert_preserved(people, cached)
+
+    def test_effective_mutation_bumps_version_once(self, people, cached):
+        people.extend([(5, 50, "kyiv"), (6, 60, "lima")])
+        assert people.version == cached["version"] + 1
+        assert people.index_on("age").degree(50) == 1
+
+    def test_empty_extend_does_not_invalidate_unbuilt_caches_later(self):
+        rel = Relation("r", ["a"], [(1,), (1,)])
+        rel.extend([])
+        assert rel.version == 0
+        assert rel.index_on("a").degree(1) == 2
+
+
+class TestDeleteAndUpdate:
+    def test_delete_rows_swap_remove_density(self, people):
+        assert people.delete_rows([1]) == 1
+        # the last row was swapped into the hole: storage stays dense
+        assert len(people) == 3
+        assert people[1] == (4, 40, "lima")
+        assert people.index_on("age").positions(40) == (1,)
+
+    def test_delete_where_with_predicate_object(self, people):
+        assert people.delete_where(Comparison("age", ">=", 30)) == 3
+        assert people.rows == [(2, 25, "oslo")]
+
+    def test_duplicate_delete_positions_counted_once(self, people):
+        assert people.delete_rows([0, 0, 0]) == 1
+        assert len(people) == 3
+
+    def test_update_with_mapping_and_callable(self, people):
+        people.index_on("city")  # built before: the update must maintain it
+        people.statistics_on("city")
+        changed = people.update(
+            Comparison("city", "==", "rome"),
+            {"age": lambda old: old + 1, "city": "florence"},
+        )
+        assert changed == 2
+        assert people.column("city").count("florence") == 2
+        assert people.index_on("city").positions("rome") == ()
+        assert people.statistics_on("city").degree("florence") == 2
+
+    def test_update_out_of_range_raises(self, people):
+        with pytest.raises(IndexError):
+            people.update_rows([99], {"age": 1})
+
+
 class TestIndexesAndStatistics:
     def test_index_on_caches_and_answers(self, people):
         idx = people.index_on("age")
