@@ -1,13 +1,17 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-updates bench-full
+.PHONY: test bench bench-aqp bench-updates bench-full
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
 
 # Batched-engine micro-benchmark: writes BENCH_batch_engine.json at the root.
 bench:
-	PYTHONPATH=$(PYTHONPATH) python scripts/bench_batch_engine.py
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_batch_engine.py
+
+# AQP benchmark (auto-planned vs hand-picked backends): writes BENCH_aqp.json.
+bench-aqp:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_aqp.py
 
 # Incremental-update benchmark (delta maintenance vs full rebuild under an
 # RF1/RF2 refresh stream): writes BENCH_updates.json at the root.

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Benchmark the AQP layer: auto-planned vs hand-picked sampler backends.
+
+For each workload the same aggregate runs to the same error target
+(``rel_error`` at 95% confidence) once per hand-picked backend and once with
+``method="auto"``; total wall-clock includes backend construction (weight
+builds, warm-ups) because that is exactly the trade-off the cost-based
+planner is supposed to navigate.  The headline number is
+
+    auto_vs_best = auto runtime / best hand-picked runtime
+
+which the roadmap requires to stay within ~1.2x on the TPC-H acyclic and
+union workloads.  Results are written to ``BENCH_aqp.json`` at the repository
+root.
+
+Run via ``make bench-aqp`` or::
+
+    PYTHONPATH=src python benchmarks/bench_aqp.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aqp import AggregateSpec, OnlineAggregator  # noqa: E402
+from repro.experiments.config import BENCH_CONFIG  # noqa: E402
+from repro.tpch.workloads import build_uq1, build_uq2  # noqa: E402
+
+REL_ERROR = 0.05
+CONFIDENCE = 0.95
+REPEATS = 5
+TARGET_RATIO = 1.2
+
+
+def run_once(queries, spec, method, seed):
+    """Build the aggregator and run it to the error target; return seconds."""
+    started = time.perf_counter()
+    aggregator = OnlineAggregator(
+        queries, spec, method=method, seed=seed, confidence=CONFIDENCE
+    )
+    report = aggregator.until(REL_ERROR)
+    elapsed = time.perf_counter() - started
+    return elapsed, aggregator.backend, report
+
+
+def best_of(queries, spec, method, seed):
+    """Best-of-N wall clock (interpreter noise dominates at these scales)."""
+    times = []
+    backend = None
+    report = None
+    for repeat in range(REPEATS):
+        elapsed, backend, report = run_once(queries, spec, method, seed + repeat)
+        times.append(elapsed)
+    overall = report.overall
+    return {
+        "seconds": round(min(times), 5),
+        "backend": backend,
+        "attempts": report.attempts,
+        "accepted": report.accepted,
+        "estimate": round(overall.estimate, 3),
+        "rel_half_width": round(overall.relative_half_width, 5),
+    }
+
+
+def bench_workload(name, queries, spec, methods, seed):
+    results = {method: best_of(queries, spec, method, seed) for method in methods}
+    hand_picked = {m: r for m, r in results.items() if m != "auto"}
+    best_method = min(hand_picked, key=lambda m: hand_picked[m]["seconds"])
+    ratio = results["auto"]["seconds"] / hand_picked[best_method]["seconds"]
+    return {
+        "workload": name,
+        "aggregate": spec.describe(),
+        "rel_error": REL_ERROR,
+        "confidence": CONFIDENCE,
+        "methods": results,
+        "best_hand_picked": best_method,
+        "auto_vs_best": round(ratio, 3),
+        "auto_within_target": ratio <= TARGET_RATIO,
+    }
+
+
+def main() -> int:
+    seed = BENCH_CONFIG.seed
+    uq1 = build_uq1(scale_factor=BENCH_CONFIG.scale_factor, overlap_scale=0.3, seed=seed)
+    uq2 = build_uq2(scale_factor=BENCH_CONFIG.scale_factor, seed=seed)
+
+    report = {
+        "benchmark": "AQP auto-planned vs hand-picked backends",
+        "scale_factor": BENCH_CONFIG.scale_factor,
+        "seed": seed,
+        "python": platform.python_version(),
+        "target_ratio": TARGET_RATIO,
+        "workloads": [],
+    }
+
+    # TPC-H acyclic: one UQ1 chain join, SUM over lineitem quantities.
+    report["workloads"].append(
+        bench_workload(
+            "UQ1 first join (acyclic chain)",
+            uq1.queries[0],
+            AggregateSpec("sum", attribute="quantity"),
+            ["exact-weight", "olken", "wander-join", "auto"],
+            seed,
+        )
+    )
+    # TPC-H acyclic, second shape: UQ2 join with pushed-down predicates.
+    report["workloads"].append(
+        bench_workload(
+            "UQ2 first join (predicated chain)",
+            uq2.queries[0],
+            AggregateSpec("sum", attribute="retailprice"),
+            ["exact-weight", "olken", "wander-join", "auto"],
+            seed,
+        )
+    )
+    # TPC-H union: the whole UQ1 workload under set semantics.
+    report["workloads"].append(
+        bench_workload(
+            "UQ1 union (5 joins, set semantics)",
+            uq1.queries,
+            AggregateSpec("sum", attribute="totalprice"),
+            ["online-union", "auto"],
+            seed,
+        )
+    )
+
+    report["all_within_target"] = all(
+        w["auto_within_target"] for w in report["workloads"]
+    )
+
+    out_path = REPO_ROOT / "BENCH_aqp.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out_path}")
+    return 0 if report["all_within_target"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

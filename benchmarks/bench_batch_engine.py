@@ -9,7 +9,7 @@ weights, plus wander-join walk throughput, on the ``bench_micro`` workload
 
 Run via ``make bench`` or::
 
-    PYTHONPATH=src python scripts/bench_batch_engine.py
+    PYTHONPATH=src python benchmarks/bench_batch_engine.py
 """
 
 from __future__ import annotations

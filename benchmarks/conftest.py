@@ -19,6 +19,10 @@ from repro.experiments.reporting import SeriesTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Plain scripts (own `main()`, run via make bench / bench-aqp / bench-updates),
+#: not pytest-benchmark suites — keep them out of `pytest benchmarks/`.
+collect_ignore = ["bench_batch_engine.py", "bench_aqp.py", "bench_updates.py"]
+
 
 @pytest.fixture(scope="session")
 def config():

@@ -18,6 +18,18 @@ True
 """
 
 from repro.analysis import chi_square_uniformity, mean_ratio_error
+from repro.aqp import (
+    AggregateAccumulator,
+    AggregateEstimate,
+    AggregateReport,
+    AggregateSpec,
+    OnlineAggregator,
+    SamplerPlan,
+    SamplerPlanner,
+    aggregate,
+    exact_aggregate,
+    supported_backends,
+)
 from repro.core import (
     BernoulliUnionSampler,
     DisjointUnionSampler,
@@ -153,4 +165,15 @@ __all__ = [
     # analysis
     "chi_square_uniformity",
     "mean_ratio_error",
+    # approximate query processing (AQP)
+    "AggregateSpec",
+    "AggregateEstimate",
+    "AggregateReport",
+    "AggregateAccumulator",
+    "OnlineAggregator",
+    "aggregate",
+    "exact_aggregate",
+    "SamplerPlan",
+    "SamplerPlanner",
+    "supported_backends",
 ]

@@ -1,24 +1,34 @@
-"""Expected sampling-cost model (Theorem 2 of the paper).
+"""Expected sampling-cost models.
 
-Theorem 2 bounds the expected number of draws Algorithm 1 needs to return
-``N`` uniform, independent samples by
+Two models live here:
 
-    ψ  ≤  Σ_j N_j log N_j   with   N_j = N · |J'_j| / |U|,
+* the paper's **Theorem 2** draw-count bound for union sampling
+  (:func:`expected_sampling_cost`): Theorem 2 bounds the expected number of
+  draws Algorithm 1 needs to return ``N`` uniform, independent samples by
 
-which telescopes to ``N + N log N``.  These helpers evaluate both forms from a
-set of :class:`~repro.estimation.parameters.UnionParameters` so experiments
-and tests can compare the observed draw counts of a sampler run against the
-analytical bound.
+      ψ  ≤  Σ_j N_j log N_j   with   N_j = N · |J'_j| / |U|,
+
+  which telescopes to ``N + N log N``;
+
+* a **backend cost model** (:class:`BackendCostModel`,
+  :func:`estimate_backend_costs`) that prices the single-join sampler
+  backends — exact-weight, extended-Olken accept/reject, and wander join —
+  from :class:`~repro.relational.statistics.ColumnStatistics`-derived
+  quantities (the Olken bound and its average-degree refinement).  The
+  :class:`~repro.aqp.planner.SamplerPlanner` minimizes these costs to pick a
+  backend and batch size automatically.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core.result import SampleResult
 from repro.estimation.parameters import UnionParameters
+from repro.joins.query import JoinQuery
+from repro.sampling.olken import olken_refined_bound, olken_upper_bound
 
 
 @dataclass(frozen=True)
@@ -76,4 +86,88 @@ def observed_cost(result: SampleResult) -> Dict[str, float]:
     }
 
 
-__all__ = ["CostEstimate", "expected_sampling_cost", "observed_cost"]
+# --------------------------------------------------------------------- backends
+@dataclass(frozen=True)
+class BackendCostModel:
+    """Unit costs of the single-join sampler backends.
+
+    The constants are calibrated against ``BENCH_batch_engine.json`` (batched
+    accept/reject draws and wander-join walks both run at a few hundred
+    thousand per second; the bottom-up EW weight build processes on the order
+    of ten million rows per second).  They only need to be *relatively* right:
+    the planner compares backends against each other, it never predicts
+    absolute wall-clock.
+    """
+
+    #: one batched accept/reject attempt (root draw + per-level descent)
+    attempt_seconds: float = 3.0e-6
+    #: one batched wander-join walk
+    walk_seconds: float = 3.0e-6
+    #: EW weight build, per base-relation row (segment sums, bottom-up)
+    weight_build_seconds_per_row: float = 1.5e-7
+    #: per-edge ColumnStatistics / max-degree lookup for the EO caps
+    stats_seconds_per_row: float = 2.0e-8
+    #: residual-condition survival prior for cyclic skeletons (unknown a
+    #: priori; only used to keep cyclic costs comparable across backends)
+    cyclic_survival_prior: float = 0.25
+
+
+DEFAULT_COST_MODEL = BackendCostModel()
+
+
+def acceptance_ratio(query: JoinQuery) -> float:
+    """Estimated accept/reject acceptance rate under extended-Olken weights.
+
+    The true rate is ``|J| / W_eo``; the planner proxies ``|J|`` with the
+    average-degree refinement of the Olken bound (§5.1), i.e. the ratio of
+    average to maximum degrees along the join tree.  Clamped to ``(0, 1]``.
+    """
+    bound = olken_upper_bound(query)
+    if bound <= 0:
+        return 1.0  # empty join: every backend is instantly "done"
+    refined = olken_refined_bound(query)
+    return min(max(refined / bound, 1e-9), 1.0)
+
+
+def estimate_backend_costs(
+    query: JoinQuery,
+    sample_size: int,
+    model: Optional[BackendCostModel] = None,
+) -> Dict[str, float]:
+    """Expected seconds for each single-join backend to produce ``sample_size``
+    accepted samples (wander join: successful walks).
+
+    * ``exact-weight`` pays an O(rows) weight build, then accepts every
+      attempt (up to residual survival on cyclic skeletons);
+    * ``olken`` has near-zero setup but accepts only ``acceptance_ratio``
+      of its attempts;
+    * ``wander-join`` has zero setup; walks succeed at roughly the same
+      degree ratio, and the surviving walks are *non-uniform*, so the model
+      charges the degree-skew design effect a second time (a skewed join
+      needs proportionally more walks for the same estimator variance).
+    """
+    if sample_size < 0:
+        raise ValueError("sample_size must be non-negative")
+    model = model or DEFAULT_COST_MODEL
+    rows = sum(len(r) for r in query.relations.values())
+    acceptance = acceptance_ratio(query)
+    survival = model.cyclic_survival_prior if query.is_cyclic else 1.0
+    n = float(sample_size)
+    return {
+        "exact-weight": rows * model.weight_build_seconds_per_row
+        + n / survival * model.attempt_seconds,
+        "olken": rows * model.stats_seconds_per_row
+        + n / (acceptance * survival) * model.attempt_seconds,
+        "wander-join": n / (acceptance * acceptance * survival) * model.walk_seconds,
+    }
+
+
+__all__ = [
+    "CostEstimate",
+    "expected_sampling_cost",
+    "observed_cost",
+    "BackendCostModel",
+    "DEFAULT_COST_MODEL",
+    "acceptance_ratio",
+    "estimate_backend_costs",
+]

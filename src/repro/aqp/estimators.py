@@ -1,0 +1,450 @@
+"""Streaming Horvitz–Thompson aggregate estimators over join/union samples.
+
+The samplers in :mod:`repro.sampling` and :mod:`repro.core` produce *samples*;
+this module turns them into approximate **aggregate answers with error bars**
+(the online-aggregation layer the paper's samplers exist to serve).
+
+The unifying view is attempt-level Horvitz–Thompson estimation.  Every draw
+attempt ``i`` of an accept/reject sampler either fails (contribution 0) or
+yields a join result ``t_i`` together with a known inverse inclusion weight
+``w_i``:
+
+* accept/reject backends (:class:`~repro.sampling.join_sampler.JoinSampler`
+  with EW or EO weights): each attempt is accepted with probability ``1/W``
+  per skeleton result, so ``w_i = W`` (the weight function's total weight);
+* wander join: a successful walk carries probability ``p(t_i)``, so
+  ``w_i = 1/p(t_i)``;
+* union samplers: each returned sample is uniform over the set union ``U``,
+  so ``w_i = |U|``.
+
+For any per-result function ``g`` the mean of ``X_i = w_i · g(t_i)`` over all
+attempts (failed attempts contribute 0) is an unbiased estimate of
+``Σ_{t ∈ J} g(t)``, which covers COUNT (``g = 1``), SUM (``g`` = an output
+attribute), filtered variants (``g`` masked by a predicate), and GROUP-BY
+(``g`` masked by the group key).  AVG is the self-normalized (Hájek) ratio of
+the SUM and COUNT estimators.  Confidence intervals come from the CLT over the
+attempt-level contributions, or from a binomial-thinned bootstrap.
+
+Aggregates over a **single join** follow SQL bag semantics (every join result
+counts, duplicates included); aggregates over a **union of joins** follow the
+paper's set semantics (each distinct output tuple of ``J_1 ∪ ... ∪ J_n``
+counts once), because that is what the union samplers draw uniformly from.
+
+Accumulators are mergeable: estimates are computed with exactly-rounded
+summation (:func:`math.fsum`), so merging partial accumulators in *any*
+chunking order yields bit-identical estimates — a property the test suite
+verifies with Hypothesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sampling.wander_join import z_value
+from repro.utils.rng import RandomState, ensure_rng
+
+AGGREGATE_KINDS = ("count", "sum", "avg")
+
+#: Group key used when no GROUP BY is requested.
+GLOBAL_GROUP: Tuple = ()
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """What to compute over the sampled join/union results.
+
+    Attributes
+    ----------
+    kind:
+        ``"count"``, ``"sum"`` or ``"avg"``.
+    attribute:
+        Output attribute the aggregate runs over (required for SUM/AVG,
+        ignored for COUNT).
+    where:
+        Optional predicate over ``{output attribute: value}`` dicts; results
+        failing it contribute nothing (``COUNT(*) FILTER (WHERE ...)``).
+    group_by:
+        Optional output attribute (or tuple of attributes) to group by.
+    """
+
+    kind: str
+    attribute: Optional[str] = None
+    where: Optional[Callable[[Mapping[str, object]], bool]] = None
+    group_by: Optional[Tuple[str, ...] | str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGGREGATE_KINDS:
+            raise ValueError(f"kind must be one of {AGGREGATE_KINDS}, got {self.kind!r}")
+        if self.kind in ("sum", "avg") and not self.attribute:
+            raise ValueError(f"{self.kind} aggregate needs an attribute")
+
+    @property
+    def group_attributes(self) -> Tuple[str, ...]:
+        if self.group_by is None:
+            return ()
+        if isinstance(self.group_by, str):
+            return (self.group_by,)
+        return tuple(self.group_by)
+
+    def describe(self) -> str:
+        parts = [self.kind.upper(), "(", self.attribute or "*", ")"]
+        if self.group_by:
+            parts += [" BY ", ",".join(self.group_attributes)]
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class AggregateEstimate:
+    """One aggregate estimate with its confidence interval."""
+
+    group: Tuple
+    estimate: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    accepted: int
+    attempts: int
+    ci_method: str = "clt"
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    @property
+    def relative_half_width(self) -> float:
+        if self.estimate == 0:
+            return float("inf")
+        return self.half_width / abs(self.estimate)
+
+    def covers(self, truth: float) -> bool:
+        return self.ci_low <= truth <= self.ci_high
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "group": list(self.group) if self.group else None,
+            "estimate": self.estimate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+            "accepted": self.accepted,
+            "attempts": self.attempts,
+            "ci_method": self.ci_method,
+        }
+
+
+@dataclass
+class AggregateReport:
+    """Per-group estimates of one accumulator snapshot."""
+
+    spec: AggregateSpec
+    estimates: Dict[Tuple, AggregateEstimate]
+    attempts: int
+    accepted: int
+    confidence: float
+    ci_method: str
+
+    @property
+    def overall(self) -> AggregateEstimate:
+        """The global (non-grouped) estimate; for GROUP BY, the worst group
+        would be queried individually via :attr:`estimates`."""
+        if GLOBAL_GROUP in self.estimates:
+            return self.estimates[GLOBAL_GROUP]
+        # Grouped report: surface the widest interval (drives stopping rules).
+        return max(self.estimates.values(), key=lambda e: e.half_width)
+
+    def groups(self) -> List[Tuple]:
+        return sorted(self.estimates, key=lambda g: tuple(map(str, g)))
+
+    def max_relative_half_width(self) -> float:
+        if not self.estimates:
+            return float("inf")
+        return max(e.relative_half_width for e in self.estimates.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "aggregate": self.spec.describe(),
+            "confidence": self.confidence,
+            "ci_method": self.ci_method,
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+            "groups": [self.estimates[g].to_dict() for g in self.groups()],
+        }
+
+
+class _GroupData:
+    """Accepted contributions of one group: inverse weights and g-values."""
+
+    __slots__ = ("weights", "values")
+
+    def __init__(self) -> None:
+        self.weights: List[float] = []
+        self.values: List[float] = []
+
+
+class AggregateAccumulator:
+    """Streaming, mergeable accumulator of attempt-level HT contributions.
+
+    Parameters
+    ----------
+    spec:
+        The aggregate to compute.
+    schema:
+        Output schema (attribute names, in tuple order) of the sampled values.
+    """
+
+    def __init__(self, spec: AggregateSpec, schema: Sequence[str]) -> None:
+        self.spec = spec
+        self.schema = tuple(schema)
+        positions = {name: i for i, name in enumerate(self.schema)}
+        if spec.attribute is not None and spec.attribute not in positions:
+            raise ValueError(
+                f"attribute {spec.attribute!r} not in output schema {self.schema}"
+            )
+        for attr in spec.group_attributes:
+            if attr not in positions:
+                raise ValueError(f"group attribute {attr!r} not in schema {self.schema}")
+        self._value_pos = positions.get(spec.attribute) if spec.attribute else None
+        self._group_pos = tuple(positions[a] for a in spec.group_attributes)
+        self.attempts = 0
+        self.accepted = 0
+        self._groups: Dict[Tuple, _GroupData] = {}
+
+    # ------------------------------------------------------------------ ingest
+    def observe(
+        self,
+        values: Sequence[Tuple],
+        attempts: int,
+        weight: Optional[float] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Consume one chunk of accepted sample values.
+
+        ``attempts`` is the number of draw attempts the chunk took (failed
+        attempts contribute zero and only enter the denominator).  Inverse
+        inclusion weights are either one shared ``weight`` (accept/reject and
+        union backends) or per-sample ``weights`` (wander join: ``1/p(t)``).
+        """
+        if attempts < len(values):
+            raise ValueError(
+                f"attempts ({attempts}) cannot be below accepted samples ({len(values)})"
+            )
+        if (weight is None) == (weights is None):
+            raise ValueError("pass exactly one of weight= or weights=")
+        if weights is not None and len(weights) != len(values):
+            raise ValueError("weights must align with values")
+        self.attempts += int(attempts)
+        where = self.spec.where
+        for i, value in enumerate(values):
+            self.accepted += 1
+            if where is not None:
+                row = dict(zip(self.schema, value))
+                if not where(row):
+                    continue
+            w = float(weight) if weight is not None else float(weights[i])  # type: ignore[index]
+            g = 1.0 if self._value_pos is None else float(value[self._value_pos])
+            key = tuple(value[p] for p in self._group_pos)
+            data = self._groups.get(key)
+            if data is None:
+                data = self._groups[key] = _GroupData()
+            data.weights.append(w)
+            data.values.append(g)
+
+    def merge(self, other: "AggregateAccumulator") -> "AggregateAccumulator":
+        """Fold another accumulator (same spec/schema) into this one."""
+        if other.spec != self.spec or other.schema != self.schema:
+            raise ValueError("can only merge accumulators with identical spec and schema")
+        self.attempts += other.attempts
+        self.accepted += other.accepted
+        for key, data in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                mine = self._groups[key] = _GroupData()
+            mine.weights.extend(data.weights)
+            mine.values.extend(data.values)
+        return self
+
+    def reset(self) -> None:
+        """Drop all state (start of a new mutation epoch)."""
+        self.attempts = 0
+        self.accepted = 0
+        self._groups = {}
+
+    # --------------------------------------------------------------- estimates
+    def estimate(
+        self,
+        confidence: float = 0.95,
+        ci_method: str = "clt",
+        bootstrap_replicates: int = 200,
+        seed: RandomState = None,
+    ) -> AggregateReport:
+        """Snapshot the current estimates with per-group confidence intervals."""
+        if ci_method not in ("clt", "bootstrap"):
+            raise ValueError("ci_method must be 'clt' or 'bootstrap'")
+        estimates: Dict[Tuple, AggregateEstimate] = {}
+        groups = self._groups or {GLOBAL_GROUP: _GroupData()}
+        rng = ensure_rng(seed) if ci_method == "bootstrap" else None
+        for key, data in groups.items():
+            point, half = self._point_and_clt(data, confidence)
+            if ci_method == "bootstrap" and data.weights:
+                low, high = self._bootstrap_interval(
+                    data, confidence, bootstrap_replicates, rng
+                )
+            else:
+                low, high = point - half, point + half
+            estimates[key] = AggregateEstimate(
+                group=key,
+                estimate=point,
+                ci_low=low,
+                ci_high=high,
+                confidence=confidence,
+                accepted=len(data.weights),
+                attempts=self.attempts,
+                ci_method=ci_method,
+            )
+        return AggregateReport(
+            spec=self.spec,
+            estimates=estimates,
+            attempts=self.attempts,
+            accepted=self.accepted,
+            confidence=confidence,
+            ci_method=ci_method,
+        )
+
+    # ---------------------------------------------------------------- internals
+    def _point_and_clt(self, data: _GroupData, confidence: float) -> Tuple[float, float]:
+        """Point estimate and CLT half-width for one group.
+
+        All sums run through :func:`math.fsum` (exactly-rounded), so the result
+        does not depend on the order contributions were ingested or merged.
+        """
+        m = self.attempts
+        kind = self.spec.kind
+        if m == 0:
+            return 0.0, float("inf")
+        z = z_value(confidence)
+        if kind == "avg":
+            sum_w = math.fsum(data.weights)
+            if sum_w <= 0:
+                return float("nan"), float("inf")
+            sum_wg = math.fsum(w * g for w, g in zip(data.weights, data.values))
+            ratio = sum_wg / sum_w
+            if m < 2:
+                return ratio, float("inf")
+            # Linearized (delta-method) variance of the Hájek ratio: the
+            # per-attempt residual w·(g − R) has exact mean zero, rejected
+            # attempts contribute zero.
+            ss = math.fsum(
+                (w * (g - ratio)) ** 2 for w, g in zip(data.weights, data.values)
+            )
+            variance = ss / (m - 1)
+            mean_w = sum_w / m
+            half = z * math.sqrt(variance / m) / mean_w
+            return ratio, half
+        if kind == "count":
+            contributions = data.weights
+            s1 = math.fsum(contributions)
+            s2 = math.fsum(w * w for w in contributions)
+        else:  # sum
+            s1 = math.fsum(w * g for w, g in zip(data.weights, data.values))
+            s2 = math.fsum((w * g) ** 2 for w, g in zip(data.weights, data.values))
+        point = s1 / m
+        if m < 2:
+            return point, float("inf")
+        variance = max(s2 - s1 * s1 / m, 0.0) / (m - 1)
+        half = z * math.sqrt(variance / m)
+        return point, half
+
+    def _bootstrap_interval(
+        self,
+        data: _GroupData,
+        confidence: float,
+        replicates: int,
+        rng: np.random.Generator,
+    ) -> Tuple[float, float]:
+        """Percentile bootstrap over attempt-level contributions.
+
+        Resampling ``m`` attempts with replacement is equivalent to drawing the
+        number of accepted hits from ``Binomial(m, n/m)`` and then resampling
+        that many accepted contributions — which avoids materializing the
+        failed attempts.
+        """
+        m = self.attempts
+        n = len(data.weights)
+        w = np.asarray(data.weights, dtype=float)
+        g = np.asarray(data.values, dtype=float)
+        kind = self.spec.kind
+        stats: List[float] = []
+        hits = rng.binomial(m, n / m, size=replicates) if m > 0 else np.zeros(replicates, int)
+        for k in hits:
+            if k == 0:
+                stats.append(0.0 if kind != "avg" else float("nan"))
+                continue
+            idx = rng.integers(0, n, size=int(k))
+            if kind == "count":
+                stats.append(float(w[idx].sum()) / m)
+            elif kind == "sum":
+                stats.append(float((w[idx] * g[idx]).sum()) / m)
+            else:
+                denom = float(w[idx].sum())
+                stats.append(float((w[idx] * g[idx]).sum()) / denom if denom > 0 else float("nan"))
+        arr = np.asarray([s for s in stats if not math.isnan(s)], dtype=float)
+        if arr.size == 0:
+            return float("nan"), float("nan")
+        alpha = (1.0 - confidence) / 2.0
+        return (
+            float(np.quantile(arr, alpha)),
+            float(np.quantile(arr, 1.0 - alpha)),
+        )
+
+
+def exact_aggregate(
+    values: Sequence[Tuple],
+    spec: AggregateSpec,
+    schema: Sequence[str],
+) -> Dict[Tuple, float]:
+    """Ground-truth aggregate over fully materialized result values.
+
+    ``values`` is the bag of join results (``execute_join``) for single-join
+    semantics, or the distinct union set for union semantics.  Returns a
+    group -> exact value map (key ``()`` when no GROUP BY), computed with
+    :func:`math.fsum` so tests compare against an exactly-rounded reference.
+    """
+    schema = tuple(schema)
+    positions = {name: i for i, name in enumerate(schema)}
+    value_pos = positions[spec.attribute] if spec.attribute else None
+    group_pos = tuple(positions[a] for a in spec.group_attributes)
+    sums: Dict[Tuple, List[float]] = {}
+    counts: Dict[Tuple, int] = {}
+    for value in values:
+        if spec.where is not None and not spec.where(dict(zip(schema, value))):
+            continue
+        key = tuple(value[p] for p in group_pos)
+        g = 1.0 if value_pos is None else float(value[value_pos])
+        sums.setdefault(key, []).append(g)
+        counts[key] = counts.get(key, 0) + 1
+    out: Dict[Tuple, float] = {}
+    for key, gs in sums.items():
+        if spec.kind == "count":
+            out[key] = float(counts[key])
+        elif spec.kind == "sum":
+            out[key] = math.fsum(gs)
+        else:
+            out[key] = math.fsum(gs) / counts[key]
+    if not out:
+        out[GLOBAL_GROUP] = 0.0 if spec.kind != "avg" else float("nan")
+    return out
+
+
+__all__ = [
+    "AGGREGATE_KINDS",
+    "GLOBAL_GROUP",
+    "AggregateSpec",
+    "AggregateEstimate",
+    "AggregateReport",
+    "AggregateAccumulator",
+    "exact_aggregate",
+]

@@ -1,0 +1,335 @@
+"""Online aggregation: drive a sampler until the error target is met.
+
+:class:`OnlineAggregator` wires a planner-selected sampler backend to a
+streaming :class:`~repro.aqp.estimators.AggregateAccumulator` and exposes the
+classic online-aggregation loop: draw a batch, update the estimate, report a
+confidence interval, stop once ``until(rel_error, confidence)`` is satisfied.
+
+Update semantics (``repro.dynamic`` epochs): every batch first re-syncs the
+backend with the base relations.  When a mutation epoch is detected the
+accumulator **restarts** — Horvitz–Thompson contributions are only exchangeable
+within one database snapshot, so mixing attempts across epochs would silently
+bias the estimate.  The number of restarts is tracked in
+:attr:`OnlineAggregator.epochs_restarted`; estimates reported before a
+mutation remain valid for the snapshot they were computed on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
+from repro.aqp.planner import (
+    BACKEND_WEIGHTS,
+    SamplerPlan,
+    SamplerPlanner,
+    supported_backends,
+)
+from repro.core.online_sampler import OnlineUnionSampler
+from repro.joins.query import JoinQuery
+from repro.sampling.join_sampler import JoinSampler
+from repro.sampling.wander_join import WanderJoin
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+
+
+class OnlineAggregator:
+    """Approximate COUNT/SUM/AVG/GROUP-BY over a join or union of joins.
+
+    Parameters
+    ----------
+    queries:
+        One :class:`JoinQuery` (SQL bag semantics) or a union-compatible
+        sequence of them (set semantics over ``J_1 ∪ ... ∪ J_n``).
+    spec:
+        The aggregate to compute.
+    method:
+        ``"auto"`` (cost-based planning) or an explicit backend:
+        ``"exact-weight"``, ``"olken"``, ``"wander-join"``, ``"online-union"``.
+        Explicit backends are validated against the capability matrix.
+    union_sampler:
+        Optional pre-built union sampler (e.g. a strict
+        :class:`~repro.core.union_sampler.SetUnionSampler` with exact
+        parameters); defaults to :class:`OnlineUnionSampler`.
+    confidence / ci_method:
+        Interval defaults used by :meth:`estimate` and the stopping rule.
+    """
+
+    def __init__(
+        self,
+        queries: Union[JoinQuery, Sequence[JoinQuery]],
+        spec: AggregateSpec,
+        method: str = "auto",
+        seed: RandomState = None,
+        confidence: float = 0.95,
+        ci_method: str = "clt",
+        batch_size: Optional[int] = None,
+        target_samples: int = 1024,
+        union_sampler: Optional[object] = None,
+        bootstrap_replicates: int = 200,
+    ) -> None:
+        if isinstance(queries, JoinQuery):
+            queries = [queries]
+        self.queries: Tuple[JoinQuery, ...] = tuple(queries)
+        if not self.queries:
+            raise ValueError("need at least one query to aggregate over")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        self.spec = spec
+        self.confidence = confidence
+        self.ci_method = ci_method
+        self.bootstrap_replicates = bootstrap_replicates
+        sampler_rng, self._ci_rng = spawn_rngs(ensure_rng(seed), 2)
+
+        supported = supported_backends(self.queries)
+        if method == "auto":
+            self.plan: SamplerPlan = SamplerPlanner(
+                self.queries, target_samples=target_samples
+            ).plan()
+        elif method in supported:
+            self.plan = SamplerPlan(
+                backend=method,
+                weights=BACKEND_WEIGHTS.get(method),
+                batch_size=batch_size or 1024,
+                expected_acceptance=1.0,
+                expected_costs={},
+                target_samples=target_samples,
+                rationale=(f"backend {method!r} requested explicitly",),
+            )
+        else:
+            raise ValueError(
+                f"backend {method!r} cannot sample this query shape; "
+                f"supported: {supported}"
+            )
+        self.backend = self.plan.backend
+        if batch_size is not None:
+            self.batch_size = int(batch_size)
+        elif self.backend == "wander-join":
+            # Wander-join steps are walk *attempts*: use the plan's
+            # rejection-inflated sizing so a step lands near the target.
+            self.batch_size = self.plan.batch_size
+        else:
+            # Accept/reject and union steps request *accepted* samples; the
+            # samplers size their internal attempt batches themselves
+            # (plan.batch_size caps JoinSampler's attempt batches below).
+            self.batch_size = min(self.plan.target_samples, self.plan.batch_size)
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+        schema = self.queries[0].output_schema
+        self.accumulator = AggregateAccumulator(spec, schema)
+        self.epochs_restarted = 0
+
+        self._walker: Optional[WanderJoin] = None
+        self._join_sampler: Optional[JoinSampler] = None
+        self._union_sampler = None
+        self._union_consumed = 0
+        if self.backend == "online-union":
+            if union_sampler is not None:
+                self._union_sampler = union_sampler
+            else:
+                self._union_sampler = OnlineUnionSampler(
+                    list(self.queries), seed=sampler_rng
+                )
+            self._reject_degenerate_union_count()
+        elif self.backend == "wander-join":
+            self._walker = WanderJoin(self.queries[0], seed=sampler_rng)
+        else:
+            self._join_sampler = JoinSampler(
+                self.queries[0],
+                weights=self.plan.weights or "ew",
+                seed=sampler_rng,
+                max_batch_size=max(self.batch_size, 1),
+            )
+        self._db_versions = self._current_versions()
+
+    # ------------------------------------------------------------------ public
+    @property
+    def sampler(self) -> object:
+        """The live backend sampler (JoinSampler, WanderJoin, or union sampler)."""
+        return self._join_sampler or self._walker or self._union_sampler
+
+    def step(self, batch_size: Optional[int] = None) -> AggregateReport:
+        """Ingest one batch of draws and return the refreshed estimates."""
+        size = int(batch_size or self.batch_size)
+        if size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._sync_epoch()
+        if self.backend == "online-union":
+            self._step_union(size)
+        elif self.backend == "wander-join":
+            self._step_wander(size)
+        else:
+            self._step_join(size)
+        return self.estimate()
+
+    def estimate(self) -> AggregateReport:
+        """Current estimates without drawing further samples."""
+        return self.accumulator.estimate(
+            confidence=self.confidence,
+            ci_method=self.ci_method,
+            bootstrap_replicates=self.bootstrap_replicates,
+            seed=self._ci_rng,
+        )
+
+    def until(
+        self,
+        rel_error: float,
+        confidence: Optional[float] = None,
+        max_attempts: int = 1_000_000,
+        min_accepted: int = 32,
+    ) -> AggregateReport:
+        """Online-aggregation stopping rule.
+
+        Draw batches until every group's confidence interval (at
+        ``confidence``, default the aggregator's) has relative half-width at
+        most ``rel_error`` — or, for exactly-zero estimates, zero width.
+        Raises ``RuntimeError`` when ``max_attempts`` draw attempts do not
+        reach the target (degenerate aggregate or budget too small).
+        """
+        if rel_error <= 0:
+            raise ValueError("rel_error must be positive")
+        if confidence is not None:
+            self.confidence = confidence
+        report = self.estimate()
+        while not self._converged(report, rel_error, min_accepted):
+            if self.accumulator.attempts >= max_attempts:
+                raise RuntimeError(
+                    f"online aggregation did not reach rel_error={rel_error} at "
+                    f"confidence={self.confidence} within {max_attempts} attempts "
+                    f"(worst relative half-width: {report.max_relative_half_width():.3g})"
+                )
+            report = self.step()
+        return report
+
+    # --------------------------------------------------------------- internals
+    def _reject_degenerate_union_count(self) -> None:
+        """Refuse unfiltered COUNT(*) over a union with *estimated* parameters.
+
+        Every sample's HT contribution is the constant ``|U|`` parameter, so
+        the CLT interval collapses to zero width around whatever the union
+        size *estimate* is — a nominal 95% interval with no coverage at all.
+        Drawing more samples cannot help: the answer is exactly as good as
+        the parameter.  With exact parameters (``FullJoinUnionEstimator``)
+        the zero-width answer is the exact ``|U|`` and is allowed; otherwise
+        point users at the union-size estimators, or at a filtered/grouped
+        COUNT whose contributions actually vary.
+        """
+        spec = self.spec
+        if spec.kind != "count" or spec.where is not None or spec.group_attributes:
+            return
+        parameters = getattr(self._union_sampler, "parameters", None)
+        if parameters is not None and parameters.method == "full-join":
+            return
+        raise ValueError(
+            "COUNT(*) over a union of joins just echoes the union-size "
+            "parameter (every sample contributes the same |U|), so its "
+            "confidence interval would be a zero-width lie around an "
+            "estimate. Use the union-size estimators (`repro estimate`) for "
+            "|U|, supply exact parameters, or add a where filter / group-by."
+        )
+
+    def _converged(self, report: AggregateReport, rel_error: float, min_accepted: int) -> bool:
+        if self.accumulator.attempts == 0:
+            return False
+        if self.accumulator.accepted < min_accepted:
+            # The zero-width/zero-estimate case (empty join) is genuinely done.
+            return all(
+                e.estimate == 0.0 and e.half_width == 0.0
+                for e in report.estimates.values()
+            ) and self.accumulator.attempts >= min_accepted
+        return all(
+            e.half_width <= rel_error * abs(e.estimate)
+            or (e.estimate == 0.0 and e.half_width == 0.0)
+            for e in report.estimates.values()
+        )
+
+    def _current_versions(self) -> Tuple[int, ...]:
+        versions: List[int] = []
+        for query in self.queries:
+            versions.extend(r.version for r in query.relations.values())
+        return tuple(versions)
+
+    def _sync_epoch(self) -> None:
+        """Restart accumulators when the base relations mutated (new epoch)."""
+        stale = False
+        if self._join_sampler is not None:
+            stale = self._join_sampler.refresh()
+        elif self._union_sampler is not None:
+            refresh = getattr(self._union_sampler, "refresh", None)
+            if refresh is not None:
+                stale = bool(refresh())
+            elif self._current_versions() != self._db_versions:
+                raise RuntimeError(
+                    "base relations mutated but the provided union sampler has "
+                    "no refresh(); rebuild the aggregator for the new snapshot"
+                )
+        else:  # wander join reads the delta-maintained indexes directly
+            stale = self._current_versions() != self._db_versions
+        if stale:
+            self.accumulator.reset()
+            self._union_consumed = 0
+            self.epochs_restarted += 1
+        self._db_versions = self._current_versions()
+
+    def _step_join(self, size: int) -> None:
+        sampler = self._join_sampler
+        assert sampler is not None
+        total_weight = sampler.weight_function.total_weight
+        if total_weight <= 0:
+            # Empty join: every attempt would fail; account them directly.
+            self.accumulator.observe([], attempts=size, weight=1.0)
+            return
+        attempts_before = sampler.stats.attempts
+        draws = sampler.sample_batch(size)
+        draws.extend(sampler.pop_buffered())
+        attempts = sampler.stats.attempts - attempts_before
+        self.accumulator.observe(
+            [d.value for d in draws], attempts=attempts, weight=total_weight
+        )
+
+    def _step_wander(self, size: int) -> None:
+        walker = self._walker
+        assert walker is not None
+        results = walker.walk_batch(size)
+        values = []
+        weights = []
+        for result in results:
+            if result.success and result.probability > 0:
+                values.append(result.value)
+                weights.append(1.0 / result.probability)
+        self.accumulator.observe(values, attempts=size, weights=weights)
+
+    def _step_union(self, size: int) -> None:
+        sampler = self._union_sampler
+        assert sampler is not None
+        self._union_consumed += size
+        result = sampler.sample(self._union_consumed)
+        # Revisions/backtracking may rewrite history, so rebuild from the
+        # sampler's full live sample list every step (cheap at AQP scales and
+        # always consistent with the sampler's current ownership record).
+        self.accumulator.reset()
+        union_size = float(result.parameters.union_size)
+        self.accumulator.observe(
+            [s.value for s in result.samples],
+            attempts=len(result.samples),
+            weight=union_size,
+        )
+
+
+def aggregate(
+    queries: Union[JoinQuery, Sequence[JoinQuery]],
+    spec: AggregateSpec,
+    rel_error: float = 0.05,
+    confidence: float = 0.95,
+    method: str = "auto",
+    seed: RandomState = None,
+    **kwargs: object,
+) -> AggregateReport:
+    """One-shot convenience wrapper: plan, sample until the target, report."""
+    aggregator = OnlineAggregator(
+        queries, spec, method=method, seed=seed, confidence=confidence, **kwargs
+    )
+    return aggregator.until(rel_error)
+
+
+__all__ = ["OnlineAggregator", "aggregate"]

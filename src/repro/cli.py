@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``python -m repro sample``
     Build a workload (UQ1/UQ2/UQ3), estimate union parameters with the chosen
@@ -10,6 +10,12 @@ Three subcommands cover the common workflows:
     Compare the histogram-based and random-walk warm-up estimators against the
     exact FullJoinUnion baseline on a workload.
 
+``python -m repro aggregate``
+    Approximate COUNT/SUM/AVG (optionally grouped) over one join or the whole
+    union of a workload, with confidence intervals and the cost-based
+    ``--method auto`` sampler planner (``--json`` for machine-readable
+    output).
+
 ``python -m repro figure``
     Regenerate one of the paper's figures (fig4a ... fig6b, ablation-bernoulli,
     ablation-template) and print its series table.
@@ -18,10 +24,12 @@ Three subcommands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.errors import mean_ratio_error
+from repro.aqp import AggregateSpec, OnlineAggregator
 from repro.core.online_sampler import OnlineUnionSampler
 from repro.core.union_sampler import (
     BernoulliUnionSampler,
@@ -57,6 +65,8 @@ FIGURES: Dict[str, Callable] = {
 
 SAMPLERS = ("set-union", "online", "bernoulli", "disjoint")
 WARMUPS = ("histogram", "random-walk", "exact")
+AGGREGATES = ("count", "sum", "avg")
+METHODS = ("auto", "exact-weight", "olken", "wander-join", "online-union")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,13 +81,41 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--samples", type=int, default=200, help="number of samples to draw")
     sample.add_argument("--sampler", choices=SAMPLERS, default="set-union")
     sample.add_argument("--warmup", choices=WARMUPS, default="histogram")
-    sample.add_argument("--weights", choices=("ew", "eo"), default="ew",
-                        help="single-join sampling weights")
+    sample.add_argument("--weights", choices=("ew", "eo", "auto"), default="ew",
+                        help="single-join sampling weights "
+                        "(auto = cost-based planner choice)")
 
     estimate = sub.add_parser("estimate", help="compare warm-up estimators on a workload")
     _add_workload_arguments(estimate)
     estimate.add_argument("--walks", type=int, default=500,
                           help="random-walk warm-up walks per join")
+
+    aggregate = sub.add_parser(
+        "aggregate", help="approximate aggregation with confidence intervals"
+    )
+    _add_workload_arguments(aggregate)
+    aggregate.add_argument("--aggregate", choices=AGGREGATES, default="count",
+                           help="aggregate function")
+    aggregate.add_argument("--attribute", default=None,
+                           help="output attribute for sum/avg")
+    aggregate.add_argument("--group-by", default=None,
+                           help="output attribute to group by")
+    aggregate.add_argument("--target", choices=("join", "union"), default="join",
+                           help="aggregate one join (bag semantics) or the whole "
+                           "union (set semantics)")
+    aggregate.add_argument("--query", default=None,
+                           help="join name for --target join (default: first)")
+    aggregate.add_argument("--method", choices=METHODS, default="auto",
+                           help="sampler backend (auto = cost-based planner)")
+    aggregate.add_argument("--rel-error", type=float, default=0.05,
+                           help="stop when every CI half-width is below this "
+                           "fraction of its estimate")
+    aggregate.add_argument("--confidence", type=float, default=0.95)
+    aggregate.add_argument("--ci", choices=("clt", "bootstrap"), default="clt",
+                           help="confidence-interval method")
+    aggregate.add_argument("--max-attempts", type=int, default=1_000_000)
+    aggregate.add_argument("--json", action="store_true",
+                           help="print a machine-readable JSON report")
 
     figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
     figure.add_argument("name", choices=sorted(FIGURES), help="figure identifier")
@@ -96,7 +134,13 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _make_estimator(name: str, queries, args):
     if name == "histogram":
-        return HistogramUnionEstimator(queries, join_size_method=getattr(args, "weights", "ew"))
+        weights = getattr(args, "weights", "ew")
+        if weights == "auto":
+            # The histogram estimator only uses the method to size joins; its
+            # cheap decentralized default is the extended-Olken variant.  The
+            # per-join samplers still resolve "auto" through the planner.
+            weights = "eo"
+        return HistogramUnionEstimator(queries, join_size_method=weights)
     if name == "random-walk":
         return RandomWalkUnionEstimator(
             queries, walks_per_join=getattr(args, "walks", 500), seed=args.seed
@@ -149,6 +193,87 @@ def command_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_aggregate(args: argparse.Namespace) -> int:
+    if args.aggregate in ("sum", "avg") and not args.attribute:
+        print("error: --attribute is required for sum/avg aggregates", file=sys.stderr)
+        return 2
+    workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
+    if args.target == "union":
+        queries = workload.queries
+        if args.method not in ("auto", "online-union"):
+            print(
+                f"error: --method {args.method} cannot sample a union; "
+                "use auto or online-union",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if args.method == "online-union":
+            print(
+                "error: --method online-union samples a union of joins; "
+                "use --target union (or a single-join backend)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.query and args.query not in workload.query_names:
+            print(
+                f"error: workload {workload.name} has no join {args.query!r}; "
+                f"choose from {workload.query_names}",
+                file=sys.stderr,
+            )
+            return 2
+        queries = [workload.query(args.query) if args.query else workload.queries[0]]
+    spec = AggregateSpec(
+        args.aggregate,
+        attribute=args.attribute,
+        group_by=args.group_by,
+    )
+    try:
+        aggregator = OnlineAggregator(
+            queries,
+            spec,
+            method=args.method,
+            seed=args.seed,
+            confidence=args.confidence,
+            ci_method=args.ci,
+        )
+    except ValueError as error:
+        # e.g. an attribute missing from the output schema, a backend that
+        # cannot sample the query shape, or unfiltered COUNT(*) over a union.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = aggregator.until(args.rel_error, max_attempts=args.max_attempts)
+
+    target = queries[0].name if args.target == "join" else f"union of {len(queries)} joins"
+    if args.json:
+        payload = {
+            "workload": workload.name,
+            "target": target,
+            "method": args.method,
+            "backend": aggregator.backend,
+            "weights": aggregator.plan.weights,
+            "batch_size": aggregator.batch_size,
+            "rel_error": args.rel_error,
+            "epochs_restarted": aggregator.epochs_restarted,
+            "report": report.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"workload={workload.name} target={target} "
+          f"method={args.method} backend={aggregator.backend}")
+    print(f"aggregate          : {spec.describe()}")
+    print(f"attempts/accepted  : {report.attempts} / {report.accepted}")
+    for group in report.groups():
+        estimate = report.estimates[group]
+        label = "overall" if not group else "group " + repr(tuple(group))
+        print(f"{label:18s} : {estimate.estimate:.4f} "
+              f"[{estimate.ci_low:.4f}, {estimate.ci_high:.4f}] "
+              f"({int(estimate.confidence * 100)}% {report.ci_method}, "
+              f"rel ±{estimate.relative_half_width:.4f})")
+    return 0
+
+
 def command_figure(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         scale_factor=args.scale_factor,
@@ -170,6 +295,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_sample(args)
     if args.command == "estimate":
         return command_estimate(args)
+    if args.command == "aggregate":
+        return command_aggregate(args)
     if args.command == "figure":
         return command_figure(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -118,7 +118,9 @@ class JoinSampler:
     query:
         The join to sample from.
     weights:
-        ``"ew"`` (exact weights), ``"eo"`` (extended Olken), or a prebuilt
+        ``"ew"`` (exact weights), ``"eo"`` (extended Olken), ``"auto"``
+        (cost-based choice between the two via
+        :func:`repro.aqp.planner.choose_weights`), or a prebuilt
         :class:`~repro.sampling.weights.WeightFunction`.
     seed:
         Seed or generator for reproducible draws.
@@ -147,6 +149,11 @@ class JoinSampler:
             # relations; re-sync before caching anything derived from it.
             self.weight_function.refresh()
         else:
+            if weights == "auto":
+                # Deferred import: the planner lives above the sampling layer.
+                from repro.aqp.planner import choose_weights
+
+                weights = choose_weights(query)
             self.weight_function = make_weight_function(weights, query, self.tree)
         self.rng = ensure_rng(seed)
         self.enforce_predicates = enforce_predicates
@@ -319,6 +326,17 @@ class JoinSampler:
                     )
         self._buffer.extend(draws[count:])
         return draws[:count]
+
+    def pop_buffered(self) -> List[SampleDraw]:
+        """Drain and return the buffered surplus of the last batched pass.
+
+        The AQP layer consumes every accepted draw of a batch so that its
+        attempt-level accounting (accepted vs. rejected walks, read off
+        :attr:`stats`) stays aligned with the draws it ingested.
+        """
+        drained = list(self._buffer)
+        self._buffer.clear()
+        return drained
 
     # ------------------------------------------------------------- batch path
     def _next_batch_size(self, need: int) -> int:

@@ -11,7 +11,7 @@ The companion fixed-seed RNG fixture lives in ``conftest.py`` (``stat_rng``).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Sequence, Tuple, Union
 
 from repro.analysis.uniformity import ChiSquareResult, chi_square_uniformity
 
@@ -67,4 +67,56 @@ def assert_no_catastrophic_bias(
     return result
 
 
-__all__ = ["STAT_SEED", "assert_uniform", "assert_no_catastrophic_bias"]
+#: A trial either returns an ``(low, high)`` tuple or any object exposing
+#: ``ci_low``/``ci_high`` (e.g. :class:`repro.aqp.AggregateEstimate`).
+IntervalLike = Union[Tuple[float, float], object]
+
+
+def assert_ci_coverage(
+    trial: Callable[[int], IntervalLike],
+    truth: float,
+    trials: int = 120,
+    min_coverage: float = 0.90,
+    seed_base: int = STAT_SEED,
+) -> float:
+    """Empirical confidence-interval coverage over many fixed-seed trials.
+
+    Runs ``trial(seed)`` for ``trials`` consecutive seeds starting at
+    ``seed_base``; each trial returns one confidence interval computed from an
+    independent sample stream.  Asserts that the fraction of intervals
+    containing ``truth`` is at least ``min_coverage`` (the harness's standard:
+    nominal 95% intervals must achieve >= 90% empirically), and returns the
+    observed coverage for further assertions.
+
+    Seeds are fixed so the check is deterministic; bumping ``STAT_SEED``
+    re-seeds every statistical test at once.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    covered = 0
+    worst: list = []
+    for i in range(trials):
+        interval = trial(seed_base + i)
+        if isinstance(interval, tuple):
+            low, high = interval
+        else:
+            low, high = interval.ci_low, interval.ci_high
+        if low <= truth <= high:
+            covered += 1
+        elif len(worst) < 5:
+            worst.append((seed_base + i, low, high))
+    coverage = covered / trials
+    assert coverage >= min_coverage, (
+        f"CI coverage {coverage:.3f} ({covered}/{trials}) below the required "
+        f"{min_coverage:.2f} for truth={truth!r}; first misses "
+        f"(seed, low, high): {worst}"
+    )
+    return coverage
+
+
+__all__ = [
+    "STAT_SEED",
+    "assert_uniform",
+    "assert_no_catastrophic_bias",
+    "assert_ci_coverage",
+]

@@ -1,0 +1,101 @@
+"""Golden-output regression tests for the CLI.
+
+Each case runs ``repro <subcommand>`` with fixed seeds and compares the
+stdout — minus wall-clock lines — against a checked-in golden file in
+``tests/goldens/``.  The goldens pin the full user-visible behaviour of the
+CLI (estimates, intervals, sample values, planner decisions), so an
+accidental change to any layer underneath shows up as a readable diff.
+
+Regenerate after an intentional behaviour change with::
+
+    UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_cli_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import List
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+UPDATE_GOLDENS = os.environ.get("UPDATE_GOLDENS") == "1"
+
+COMMON = ["--scale-factor", "0.0005", "--seed", "3"]
+
+CASES = {
+    "cli_sample_set_union.json": [
+        "sample", "--workload", "UQ2", "--samples", "20",
+        "--sampler", "set-union", "--warmup", "histogram", *COMMON,
+    ],
+    "cli_sample_auto_weights.json": [
+        "sample", "--workload", "UQ2", "--samples", "15",
+        "--sampler", "set-union", "--warmup", "histogram",
+        "--weights", "auto", *COMMON,
+    ],
+    "cli_estimate_uq2.json": [
+        "estimate", "--workload", "UQ2", "--walks", "120", *COMMON,
+    ],
+    "cli_aggregate_join_sum.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.1", "--json", *COMMON,
+    ],
+    "cli_aggregate_groupby_avg.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "avg",
+        "--attribute", "totalprice", "--group-by", "mktsegment",
+        "--rel-error", "0.1", "--json", *COMMON,
+    ],
+    "cli_aggregate_union_sum.json": [
+        "aggregate", "--workload", "UQ3", "--target", "union",
+        "--aggregate", "sum", "--attribute", "totalprice",
+        "--rel-error", "0.1", "--json", *COMMON,
+    ],
+}
+
+
+def _normalize(output: str) -> List[str]:
+    """Drop non-deterministic (wall-clock) lines; keep everything else."""
+    return [
+        line
+        for line in output.rstrip("\n").splitlines()
+        if not line.startswith("time breakdown")
+    ]
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_cli_golden(name, capsys):
+    args = CASES[name]
+    code = main(args)
+    output = capsys.readouterr().out
+    assert code == 0
+    lines = _normalize(output)
+    path = GOLDEN_DIR / name
+
+    if UPDATE_GOLDENS:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(
+            json.dumps({"args": args, "lines": lines}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    if not path.exists():
+        pytest.fail(
+            f"golden {path.name} missing; regenerate with "
+            "UPDATE_GOLDENS=1 python -m pytest tests/test_cli_golden.py"
+        )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert golden["args"] == args, "golden was generated with different arguments"
+    assert lines == golden["lines"]
+
+
+def test_goldens_have_no_timing_lines():
+    """The goldens themselves must never contain wall-clock output."""
+    for name in CASES:
+        path = GOLDEN_DIR / name
+        if not path.exists():  # pragma: no cover - covered by test_cli_golden
+            continue
+        golden = json.loads(path.read_text(encoding="utf-8"))
+        assert not any(line.startswith("time breakdown") for line in golden["lines"])
