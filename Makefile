@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-updates bench-full
+.PHONY: test bench bench-aqp bench-parallel bench-updates bench-full
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -12,6 +12,11 @@ bench:
 # AQP benchmark (auto-planned vs hand-picked backends): writes BENCH_aqp.json.
 bench-aqp:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_aqp.py
+
+# Parallel sampling service benchmark (worker scaling + bit-identical merge
+# vs the sequential reference): writes BENCH_parallel.json at the root.
+bench-parallel:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_parallel.py
 
 # Incremental-update benchmark (delta maintenance vs full rebuild under an
 # RF1/RF2 refresh stream): writes BENCH_updates.json at the root.

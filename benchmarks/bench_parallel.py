@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Benchmark the parallel sampling service: scaling and bit-identical merges.
+
+Two questions, answered per workload (TPC-H acyclic join and TPC-H union):
+
+1. **Scaling** — samples/sec of the whole fan-out/merge path at 1, 2, and 4
+   workers.  The shard plan is held fixed, so every worker count does exactly
+   the same sampling work; the ratio ``rate(4 workers) / rate(1 worker)`` is
+   the speedup.  The roadmap target is >= 2.5x at 4 workers, which requires
+   >= 4 physical cores; the report records the machine's ``cpu_count`` (and
+   the execution backend the pool actually chose) so a single-core container
+   run is legible as a hardware limit, not a regression.
+2. **Determinism** — the merged estimate and CI bounds of every parallel run
+   are compared bit-for-bit against the sequential reference (the same shard
+   plan executed in a plain in-process loop).  This must hold on any
+   hardware and is the pass/fail gate of this benchmark.
+
+Results are written to ``BENCH_parallel.json`` at the repository root.
+
+Run via ``make bench-parallel`` or::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.aqp import AggregateSpec  # noqa: E402
+from repro.experiments.config import BENCH_CONFIG  # noqa: E402
+from repro.parallel import ParallelSamplerPool, sequential_reference  # noqa: E402
+from repro.tpch.workloads import build_uq1  # noqa: E402
+
+WORKER_COUNTS = (1, 2, 4)
+SHARDS = 8
+REPEATS = 3
+SPEEDUP_TARGET = 2.5
+
+
+def report_key(report):
+    overall = report.overall
+    return (overall.estimate, overall.ci_low, overall.ci_high,
+            report.attempts, report.accepted)
+
+
+def merge_reference(tasks):
+    """Sequential oracle: run the shard plan in-process and merge in order."""
+    merged = None
+    for result in sequential_reference(tasks):
+        if merged is None:
+            merged = result.accumulator
+        else:
+            merged.merge(result.accumulator)
+    return merged.estimate()
+
+
+def bench_workload(name, queries, spec, count, seed, method="auto"):
+    probe_pool = ParallelSamplerPool(workers=1, execution="thread")
+    tasks = probe_pool.plan_tasks(queries, count, seed=seed, method=method,
+                                  spec=spec, shards=SHARDS)
+    reference = merge_reference(tasks)
+
+    runs = {}
+    rates = {}
+    for workers in WORKER_COUNTS:
+        pool = ParallelSamplerPool(workers=workers, execution="auto", job_timeout=600)
+        times = []
+        merged_report = None
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            outcome = pool.aggregate(queries, spec, count, seed=seed,
+                                     method=method, shards=SHARDS)
+            times.append(time.perf_counter() - started)
+            merged_report = outcome.accumulator.estimate()
+        execution = outcome.execution
+        seconds = min(times)
+        rates[workers] = count / seconds
+        runs[str(workers)] = {
+            "seconds": round(seconds, 5),
+            "samples_per_sec": round(count / seconds, 1),
+            "execution": execution,
+            "bit_identical_to_sequential": report_key(merged_report) == report_key(reference),
+        }
+
+    speedup = rates[4] / rates[1]
+    return {
+        "workload": name,
+        "aggregate": spec.describe(),
+        "backend": tasks[0].backend,
+        "samples": count,
+        "shards": SHARDS,
+        "workers": runs,
+        "speedup_4_vs_1": round(speedup, 3),
+        "meets_speedup_target": speedup >= SPEEDUP_TARGET,
+        "all_bit_identical": all(r["bit_identical_to_sequential"] for r in runs.values()),
+    }
+
+
+def main() -> int:
+    seed = BENCH_CONFIG.seed
+    cpu_count = os.cpu_count() or 1
+    uq1 = build_uq1(scale_factor=BENCH_CONFIG.scale_factor, overlap_scale=0.3, seed=seed)
+
+    report = {
+        "benchmark": "parallel sampling service: scaling + deterministic merge",
+        "scale_factor": BENCH_CONFIG.scale_factor,
+        "seed": seed,
+        "python": platform.python_version(),
+        "cpu_count": cpu_count,
+        "speedup_target_at_4_workers": SPEEDUP_TARGET,
+        "note": (
+            "the speedup target presumes >= 4 physical cores; on machines "
+            "with fewer cores the determinism gate is the pass/fail signal"
+        ),
+        "workloads": [],
+    }
+
+    # TPC-H acyclic: one UQ1 chain join, SUM over order totalprice.
+    report["workloads"].append(
+        bench_workload(
+            "UQ1 first join (TPC-H acyclic chain)",
+            uq1.queries[0],
+            AggregateSpec("sum", attribute="totalprice"),
+            count=60_000,
+            seed=seed,
+        )
+    )
+    # TPC-H union: the whole UQ1 workload under set semantics.
+    report["workloads"].append(
+        bench_workload(
+            "UQ1 union (5 joins, set semantics)",
+            uq1.queries,
+            AggregateSpec("sum", attribute="totalprice"),
+            count=3_000,
+            seed=seed,
+        )
+    )
+
+    report["all_bit_identical"] = all(w["all_bit_identical"] for w in report["workloads"])
+    report["all_meet_speedup_target"] = all(
+        w["meets_speedup_target"] for w in report["workloads"]
+    )
+
+    out_path = REPO_ROOT / "BENCH_parallel.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {out_path}")
+    # Determinism is the hard gate; scaling depends on the machine's cores.
+    return 0 if report["all_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,14 @@ from repro.joins import (
     execute_join,
     find_standard_template,
 )
+from repro.parallel import (
+    ParallelRunReport,
+    ParallelSamplerPool,
+    ShardResult,
+    ShardTask,
+    parallel_aggregate,
+    parallel_sample,
+)
 from repro.relational import (
     Attribute,
     Comparison,
@@ -176,4 +184,11 @@ __all__ = [
     "SamplerPlan",
     "SamplerPlanner",
     "supported_backends",
+    # parallel sampling service
+    "ParallelSamplerPool",
+    "ParallelRunReport",
+    "ShardTask",
+    "ShardResult",
+    "parallel_sample",
+    "parallel_aggregate",
 ]

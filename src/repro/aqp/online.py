@@ -16,6 +16,7 @@ mutation remain valid for the snapshot they were computed on.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
@@ -52,6 +53,15 @@ class OnlineAggregator:
         parameters); defaults to :class:`OnlineUnionSampler`.
     confidence / ci_method:
         Interval defaults used by :meth:`estimate` and the stopping rule.
+    parallelism:
+        When > 1, every :meth:`step` fans its batch out across that many
+        in-process sampler shards (independent seed streams derived from
+        ``seed``) and merges the partial results in shard order, so a fixed
+        ``(seed, parallelism)`` pair is fully deterministic.  Epoch restarts
+        apply to the whole shard fleet: a ``refresh()`` bump observed on any
+        shard discards the accumulated state, exactly as in the sequential
+        path.  (For process-based fan-out over CPU cores use
+        :func:`repro.parallel.parallel_aggregate`.)
     """
 
     def __init__(
@@ -66,6 +76,7 @@ class OnlineAggregator:
         target_samples: int = 1024,
         union_sampler: Optional[object] = None,
         bootstrap_replicates: int = 200,
+        parallelism: int = 1,
     ) -> None:
         if isinstance(queries, JoinQuery):
             queries = [queries]
@@ -74,10 +85,13 @@ class OnlineAggregator:
             raise ValueError("need at least one query to aggregate over")
         if not 0.0 < confidence < 1.0:
             raise ValueError("confidence must be in (0, 1)")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.spec = spec
         self.confidence = confidence
         self.ci_method = ci_method
         self.bootstrap_replicates = bootstrap_replicates
+        self.parallelism = int(parallelism)
         sampler_rng, self._ci_rng = spawn_rngs(ensure_rng(seed), 2)
 
         supported = supported_backends(self.queries)
@@ -120,25 +134,48 @@ class OnlineAggregator:
         self.epochs_restarted = 0
 
         self._walker: Optional[WanderJoin] = None
+        self._walker_shards: List[WanderJoin] = []
         self._join_sampler: Optional[JoinSampler] = None
         self._union_sampler = None
+        self._union_shards: List[OnlineUnionSampler] = []
         self._union_consumed = 0
+        self._union_shard_consumed: List[int] = []
         if self.backend == "online-union":
             if union_sampler is not None:
+                if self.parallelism > 1:
+                    raise ValueError(
+                        "a prebuilt union_sampler cannot be sharded; drop "
+                        "union_sampler= or set parallelism=1"
+                    )
                 self._union_sampler = union_sampler
+            elif self.parallelism > 1:
+                self._union_shards = [
+                    OnlineUnionSampler(list(self.queries), seed=stream)
+                    for stream in spawn_rngs(sampler_rng, self.parallelism)
+                ]
+                self._union_sampler = self._union_shards[0]
+                self._union_shard_consumed = [0] * self.parallelism
             else:
                 self._union_sampler = OnlineUnionSampler(
                     list(self.queries), seed=sampler_rng
                 )
             self._reject_degenerate_union_count()
         elif self.backend == "wander-join":
-            self._walker = WanderJoin(self.queries[0], seed=sampler_rng)
+            if self.parallelism > 1:
+                self._walker_shards = [
+                    WanderJoin(self.queries[0], seed=stream)
+                    for stream in spawn_rngs(sampler_rng, self.parallelism)
+                ]
+                self._walker = self._walker_shards[0]
+            else:
+                self._walker = WanderJoin(self.queries[0], seed=sampler_rng)
         else:
             self._join_sampler = JoinSampler(
                 self.queries[0],
                 weights=self.plan.weights or "ew",
                 seed=sampler_rng,
                 max_batch_size=max(self.batch_size, 1),
+                parallelism=self.parallelism,
             )
         self._db_versions = self._current_versions()
 
@@ -250,10 +287,17 @@ class OnlineAggregator:
         return tuple(versions)
 
     def _sync_epoch(self) -> None:
-        """Restart accumulators when the base relations mutated (new epoch)."""
+        """Restart accumulators when the base relations mutated (new epoch).
+
+        With ``parallelism > 1`` the whole shard fleet re-syncs: a stale
+        epoch observed on *any* shard discards the accumulated state, so
+        shards never contribute attempts from different database snapshots.
+        """
         stale = False
         if self._join_sampler is not None:
             stale = self._join_sampler.refresh()
+        elif self._union_shards:
+            stale = any([shard.refresh() for shard in self._union_shards])
         elif self._union_sampler is not None:
             refresh = getattr(self._union_sampler, "refresh", None)
             if refresh is not None:
@@ -268,6 +312,7 @@ class OnlineAggregator:
         if stale:
             self.accumulator.reset()
             self._union_consumed = 0
+            self._union_shard_consumed = [0] * len(self._union_shard_consumed)
             self.epochs_restarted += 1
         self._db_versions = self._current_versions()
 
@@ -288,25 +333,60 @@ class OnlineAggregator:
         )
 
     def _step_wander(self, size: int) -> None:
+        if self._walker_shards:
+            quotas = _split_evenly(size, len(self._walker_shards))
+            with ThreadPoolExecutor(max_workers=len(self._walker_shards)) as executor:
+                batches = list(
+                    executor.map(
+                        lambda pair: pair[0].walk_batch(pair[1]),
+                        zip(self._walker_shards, quotas),
+                    )
+                )
+            # Ingest in shard order; the exactly-rounded accumulator makes
+            # the estimates chunk-order-invariant anyway.
+            for quota, results in zip(quotas, batches):
+                self._observe_walks(results, attempts=quota)
+            return
         walker = self._walker
         assert walker is not None
-        results = walker.walk_batch(size)
+        self._observe_walks(walker.walk_batch(size), attempts=size)
+
+    def _observe_walks(self, results, attempts: int) -> None:
         values = []
         weights = []
         for result in results:
             if result.success and result.probability > 0:
                 values.append(result.value)
                 weights.append(1.0 / result.probability)
-        self.accumulator.observe(values, attempts=size, weights=weights)
+        self.accumulator.observe(values, attempts=attempts, weights=weights)
 
     def _step_union(self, size: int) -> None:
+        # Revisions/backtracking may rewrite history, so rebuild from the
+        # sampler's full live sample list every step (cheap at AQP scales and
+        # always consistent with the sampler's current ownership record).
+        if self._union_shards:
+            quotas = _split_evenly(size, len(self._union_shards))
+            for i, quota in enumerate(quotas):
+                self._union_shard_consumed[i] += quota
+            with ThreadPoolExecutor(max_workers=len(self._union_shards)) as executor:
+                results = list(
+                    executor.map(
+                        lambda pair: pair[0].sample(pair[1]),
+                        zip(self._union_shards, self._union_shard_consumed),
+                    )
+                )
+            self.accumulator.reset()
+            for result in results:
+                self.accumulator.observe(
+                    [s.value for s in result.samples],
+                    attempts=len(result.samples),
+                    weight=float(result.parameters.union_size),
+                )
+            return
         sampler = self._union_sampler
         assert sampler is not None
         self._union_consumed += size
         result = sampler.sample(self._union_consumed)
-        # Revisions/backtracking may rewrite history, so rebuild from the
-        # sampler's full live sample list every step (cheap at AQP scales and
-        # always consistent with the sampler's current ownership record).
         self.accumulator.reset()
         union_size = float(result.parameters.union_size)
         self.accumulator.observe(
@@ -314,6 +394,12 @@ class OnlineAggregator:
             attempts=len(result.samples),
             weight=union_size,
         )
+
+
+def _split_evenly(total: int, parts: int) -> List[int]:
+    """Even split of ``total`` into ``parts`` quotas (first shards get +1)."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
 def aggregate(

@@ -41,7 +41,9 @@ from repro.estimation.histogram import HistogramUnionEstimator
 from repro.estimation.random_walk import RandomWalkUnionEstimator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments import figures as figure_module
+from repro.parallel import parallel_sample
 from repro.tpch.workloads import build_workload
+from repro.utils.rng import spawn_rngs
 
 #: figure name -> callable(config) -> SeriesTable
 FIGURES: Dict[str, Callable] = {
@@ -84,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--weights", choices=("ew", "eo", "auto"), default="ew",
                         help="single-join sampling weights "
                         "(auto = cost-based planner choice)")
+    sample.add_argument("--workers", type=int, default=1,
+                        help="worker count for the parallel sampling service "
+                        "(>1 routes through the shard service — incompatible "
+                        "with --sampler/--warmup/--weights — and draws the "
+                        "same samples for any worker count > 1)")
 
     estimate = sub.add_parser("estimate", help="compare warm-up estimators on a workload")
     _add_workload_arguments(estimate)
@@ -114,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("--ci", choices=("clt", "bootstrap"), default="clt",
                            help="confidence-interval method")
     aggregate.add_argument("--max-attempts", type=int, default=1_000_000)
+    aggregate.add_argument("--workers", type=int, default=1,
+                           help="sampler shards run per batch (>1 fans each "
+                           "online-aggregation step out across cores)")
     aggregate.add_argument("--json", action="store_true",
                            help="print a machine-readable JSON report")
 
@@ -132,7 +142,7 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2023)
 
 
-def _make_estimator(name: str, queries, args):
+def _make_estimator(name: str, queries, args, seed=None):
     if name == "histogram":
         weights = getattr(args, "weights", "ew")
         if weights == "auto":
@@ -143,27 +153,67 @@ def _make_estimator(name: str, queries, args):
         return HistogramUnionEstimator(queries, join_size_method=weights)
     if name == "random-walk":
         return RandomWalkUnionEstimator(
-            queries, walks_per_join=getattr(args, "walks", 500), seed=args.seed
+            queries,
+            walks_per_join=getattr(args, "walks", 500),
+            seed=args.seed if seed is None else seed,
         )
     return FullJoinUnionEstimator(queries)
 
 
 def command_sample(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers > 1:
+        # The parallel service plans its own backend (shard-local union
+        # samplers with histogram warm-ups); silently dropping an explicit
+        # sampler choice would misreport what actually ran.
+        overridden = [
+            flag
+            for flag, value, default in (
+                ("--sampler", args.sampler, "set-union"),
+                ("--warmup", args.warmup, "histogram"),
+                ("--weights", args.weights, "ew"),
+            )
+            if value != default
+        ]
+        if overridden:
+            print(
+                f"error: --workers {args.workers} uses the parallel shard service, "
+                f"which ignores {', '.join(overridden)}; drop those flags or use "
+                "--workers 1",
+                file=sys.stderr,
+            )
+            return 2
     workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
     queries = workload.queries
-    if args.sampler == "online":
-        sampler = OnlineUnionSampler(queries, seed=args.seed, join_weights=args.weights)
-    else:
-        estimator = _make_estimator(args.warmup, queries, args)
-        if args.sampler == "set-union":
-            sampler = SetUnionSampler(queries, estimator, join_weights=args.weights, seed=args.seed)
-        elif args.sampler == "bernoulli":
-            sampler = BernoulliUnionSampler(queries, estimator, join_weights=args.weights,
-                                            seed=args.seed)
+    if args.workers > 1:
+        return _sample_parallel(args, workload, queries)
+    # Derive independent streams for the warm-up estimator and the sampler:
+    # seeding both with args.seed would replay the identical sequence in two
+    # components that must draw independently (see repro.utils.rng).
+    estimator_rng, sampler_rng = spawn_rngs(args.seed, 2)
+    try:
+        if args.sampler == "online":
+            sampler = OnlineUnionSampler(queries, seed=sampler_rng, join_weights=args.weights)
         else:
-            sampler = DisjointUnionSampler(queries, estimator, join_weights=args.weights,
-                                           seed=args.seed)
-    result = sampler.sample(args.samples)
+            estimator = _make_estimator(args.warmup, queries, args, seed=estimator_rng)
+            if args.sampler == "set-union":
+                sampler = SetUnionSampler(queries, estimator, join_weights=args.weights,
+                                          seed=sampler_rng)
+            elif args.sampler == "bernoulli":
+                sampler = BernoulliUnionSampler(queries, estimator, join_weights=args.weights,
+                                                seed=sampler_rng)
+            else:
+                sampler = DisjointUnionSampler(queries, estimator, join_weights=args.weights,
+                                               seed=sampler_rng)
+        result = sampler.sample(args.samples)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(f"workload={workload.name} sampler={args.sampler} warmup={args.warmup} "
           f"weights={args.weights}")
     print(f"samples drawn      : {len(result)}")
@@ -173,6 +223,29 @@ def command_sample(args: argparse.Namespace) -> int:
     print(f"time breakdown (s) : {result.stats.breakdown()}")
     print("first 5 samples:")
     for value in result.values()[:5]:
+        print(f"  {value}")
+    return 0
+
+
+def _sample_parallel(args: argparse.Namespace, workload, queries) -> int:
+    """Draw via the parallel sampling service (deterministic in any worker count)."""
+    try:
+        report = parallel_sample(
+            queries, args.samples, workers=args.workers, seed=args.seed
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except RuntimeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"workload={workload.name} sampler=parallel backend={report.backend} "
+          f"workers={report.workers} shards={report.shards}")
+    print(f"samples drawn      : {len(report.values)}")
+    print(f"per-join samples   : {report.source_counts()}")
+    print(f"shard attempts     : {report.attempts} (accepted {report.accepted})")
+    print("first 5 samples:")
+    for value in report.values[:5]:
         print(f"  {value}")
     return 0
 
@@ -196,6 +269,9 @@ def command_estimate(args: argparse.Namespace) -> int:
 def command_aggregate(args: argparse.Namespace) -> int:
     if args.aggregate in ("sum", "avg") and not args.attribute:
         print("error: --attribute is required for sum/avg aggregates", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
     if args.target == "union":
@@ -236,13 +312,19 @@ def command_aggregate(args: argparse.Namespace) -> int:
             seed=args.seed,
             confidence=args.confidence,
             ci_method=args.ci,
+            parallelism=args.workers,
         )
     except ValueError as error:
         # e.g. an attribute missing from the output schema, a backend that
         # cannot sample the query shape, or unfiltered COUNT(*) over a union.
         print(f"error: {error}", file=sys.stderr)
         return 2
-    report = aggregator.until(args.rel_error, max_attempts=args.max_attempts)
+    try:
+        report = aggregator.until(args.rel_error, max_attempts=args.max_attempts)
+    except RuntimeError as error:
+        # Budget exhausted before the error target: report, don't traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     target = queries[0].name if args.target == "join" else f"union of {len(queries)} joins"
     if args.json:
@@ -253,6 +335,7 @@ def command_aggregate(args: argparse.Namespace) -> int:
             "backend": aggregator.backend,
             "weights": aggregator.plan.weights,
             "batch_size": aggregator.batch_size,
+            "workers": aggregator.parallelism,
             "rel_error": args.rel_error,
             "epochs_restarted": aggregator.epochs_restarted,
             "report": report.to_dict(),

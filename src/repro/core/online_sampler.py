@@ -89,11 +89,16 @@ class OnlineUnionSampler:
         self.confidence_level = 0.0
 
         with self.stats.timer.phase("warmup"):
+            # Derive the warm-up and per-join streams from self.rng instead of
+            # sharing the generator itself: handing self.rng to the estimator
+            # would alias its walk stream with this sampler's selection and
+            # backtracking draws (see the aliasing contract in repro.utils.rng).
+            warmup_rng, sampler_parent = spawn_rngs(self.rng, 2)
             if warmup_estimator is not None:
                 estimator = warmup_estimator
             elif warmup == "random-walk":
                 estimator = RandomWalkUnionEstimator(
-                    self.queries, walks_per_join=walks_per_join, seed=self.rng
+                    self.queries, walks_per_join=walks_per_join, seed=warmup_rng
                 )
             else:
                 estimator = HistogramUnionEstimator(self.queries, join_size_method="eo")
@@ -102,7 +107,7 @@ class OnlineUnionSampler:
             if self.reuse and isinstance(estimator, RandomWalkUnionEstimator):
                 for name, samples in estimator.all_collected_samples().items():
                     self._pools[name] = list(samples)
-            sampler_seeds = spawn_rngs(self.rng, len(self.queries))
+            sampler_seeds = spawn_rngs(sampler_parent, len(self.queries))
             self.join_samplers: Dict[str, JoinSampler] = {
                 q.name: JoinSampler(q, weights=join_weights, seed=s)
                 for q, s in zip(self.queries, sampler_seeds)

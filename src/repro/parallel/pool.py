@@ -1,0 +1,472 @@
+"""The multi-core parallel sampling service: plan shards, fan out, merge.
+
+:class:`ParallelSamplerPool` executes a fixed list of
+:class:`~repro.parallel.shards.ShardTask` across N workers and merges the
+results deterministically.  Three properties define the service:
+
+**Determinism across worker counts.**  The shard plan — shard count, per-shard
+sample quotas, per-shard seeds — depends only on the job (queries, total
+count, root seed, ``shards``), never on ``workers`` or the execution backend.
+Workers race over *which* shard they execute next, but every shard's output is
+a pure function of its task, and the coordinator merges results in shard-id
+order; so any worker count, thread or process, produces bit-identical merged
+answers (pinned by ``tests/test_parallel.py`` and the Hypothesis property in
+``tests/test_aqp_properties.py``).
+
+**Shard-merge via the accumulator merge law.**  Aggregate shards return
+partial :class:`~repro.aqp.estimators.AggregateAccumulator` objects; the
+coordinator folds them with :meth:`AggregateAccumulator.merge`, whose
+exactly-rounded (``math.fsum``) estimates are chunk-order-invariant — the
+algebraic property that makes fan-out/merge safe (PR 3).
+
+**Epoch-aware cancellation.**  The coordinator snapshots every base
+relation's version counter when it plans the shards and re-checks it when the
+results arrive.  If a mutation epoch bump is observed (``refresh()``
+semantics of the update engine), the in-flight shard results are *discarded*
+— they describe a mix of snapshots — and the whole job re-runs against the
+new snapshot, matching the restart semantics of
+:class:`~repro.aqp.online.OnlineAggregator`.
+
+Processes vs threads: process workers (``multiprocessing`` with the
+``spawn`` start method) sidestep the GIL but pay per-worker interpreter
+start-up plus pickling of the relations; thread workers share memory and
+start instantly but only overlap during GIL-releasing numpy sections.  The
+``"auto"`` execution policy picks processes for large jobs on multi-core
+machines and threads otherwise; see ``docs/parallel.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
+from repro.aqp.planner import supported_backends
+from repro.joins.query import JoinQuery
+from repro.parallel.shards import (
+    SHARD_BACKENDS,
+    ShardResult,
+    ShardTask,
+    observed_versions,
+    run_shard,
+)
+from repro.utils.rng import RandomState, shard_seed_sequences
+
+#: Default number of shards.  Fixed (not derived from the worker count!) so
+#: that the same seed gives the same answer no matter how many workers run.
+DEFAULT_SHARDS = 8
+
+#: ``"auto"`` execution uses in-process threads below this total sample
+#: count: a spawned worker pays interpreter start-up plus a pickled copy of
+#: the relations, which small jobs never amortize.
+SMALL_JOB_THRESHOLD = 4096
+
+EXECUTION_MODES = ("auto", "thread", "process")
+
+
+@dataclass
+class ParallelRunReport:
+    """Merged outcome of one parallel job plus fleet-level accounting."""
+
+    backend: str
+    execution: str
+    workers: int
+    shards: int
+    attempts: int
+    accepted: int
+    epochs_restarted: int
+    #: sampling mode: merged values/sources in shard order
+    values: List[Tuple] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
+    #: aggregate mode: merged accumulator (shard-id merge order)
+    accumulator: Optional[AggregateAccumulator] = None
+    per_shard: List[Dict[str, int]] = field(default_factory=list)
+
+    def source_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for name in self.sources:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+class ParallelSamplerPool:
+    """Fan sampling / online-aggregation shards out across CPU cores.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; defaults to ``os.cpu_count()``.  Does **not** influence
+        the answer — only how many shards run concurrently.
+    execution:
+        ``"thread"``, ``"process"``, or ``"auto"`` (processes for large jobs
+        on multi-core machines with picklable tasks, threads otherwise).
+    start_method:
+        ``multiprocessing`` start method for process execution.  ``"spawn"``
+        (the default) is the only start method that is both fork-safe and
+        identical across platforms.
+    job_timeout:
+        Wall-clock seconds to wait for process execution before terminating
+        the pool and raising ``RuntimeError`` — a deadlocked worker fails
+        fast instead of hanging the job (thread execution runs in-process
+        and cannot be forcibly cancelled; guard it externally).
+    max_epoch_restarts:
+        How many times a job may be discarded and re-run because a mutation
+        epoch bump was observed mid-flight.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        execution: str = "auto",
+        start_method: str = "spawn",
+        job_timeout: Optional[float] = None,
+        max_epoch_restarts: int = 3,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES}, got {execution!r}")
+        self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
+        self.execution = execution
+        self.start_method = start_method
+        self.job_timeout = job_timeout
+        self.max_epoch_restarts = max_epoch_restarts
+        self.epochs_restarted = 0
+        #: execution mode of the most recent run() (resolving "auto" pickles
+        #: the tasks, so it is done once per run and remembered for reports)
+        self._last_execution: Optional[str] = None
+
+    # ------------------------------------------------------------------- plan
+    def plan_tasks(
+        self,
+        queries: Union[JoinQuery, Sequence[JoinQuery]],
+        count: int,
+        *,
+        seed: RandomState = None,
+        method: str = "auto",
+        spec: Optional[AggregateSpec] = None,
+        shards: Optional[int] = None,
+        max_attempts: int = 1_000_000,
+    ) -> List[ShardTask]:
+        """Resolve the backend and split the job into a fixed shard list.
+
+        The split assigns ``count // shards`` samples to every shard and one
+        extra to the first ``count % shards`` — a pure function of ``count``
+        and ``shards``, so the plan (and hence the answer) is independent of
+        the worker count.
+        """
+        if isinstance(queries, JoinQuery):
+            queries = (queries,)
+        queries = tuple(queries)
+        if not queries:
+            raise ValueError("need at least one query")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        shard_count = int(shards) if shards is not None else DEFAULT_SHARDS
+        if shard_count < 1:
+            raise ValueError(f"shards must be >= 1, got {shard_count}")
+        backend = self._resolve_backend(queries, method, spec)
+        if backend == "online-union" and spec is not None:
+            _reject_degenerate_union_count(spec)
+        seeds = shard_seed_sequences(seed, shard_count)
+        base, extra = divmod(count, shard_count)
+        return [
+            ShardTask(
+                shard_id=i,
+                queries=queries,
+                backend=backend,
+                count=base + (1 if i < extra else 0),
+                seed=seeds[i],
+                spec=spec,
+                max_attempts=max_attempts,
+            )
+            for i in range(shard_count)
+        ]
+
+    # -------------------------------------------------------------------- run
+    def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        """Execute the shard tasks; results come back in shard-id order."""
+        if not tasks:
+            return []
+        execution = self._resolve_execution(tasks)
+        self._last_execution = execution
+        if execution == "process":
+            results = self._run_processes(tasks)
+        else:
+            results = self._run_threads(tasks)
+        return sorted(results, key=lambda r: r.shard_id)
+
+    def sample(
+        self,
+        queries: Union[JoinQuery, Sequence[JoinQuery]],
+        count: int,
+        *,
+        seed: RandomState = None,
+        method: str = "auto",
+        shards: Optional[int] = None,
+        max_attempts: int = 1_000_000,
+    ) -> ParallelRunReport:
+        """``count`` uniform samples, fanned out and merged in shard order."""
+        tasks = self.plan_tasks(
+            queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
+        )
+        results = self._run_with_epoch_guard(tasks)
+        report = self._base_report(tasks, results)
+        for result in results:
+            report.values.extend(result.values)
+            report.sources.extend(result.sources)
+        return report
+
+    def aggregate(
+        self,
+        queries: Union[JoinQuery, Sequence[JoinQuery]],
+        spec: AggregateSpec,
+        count: int,
+        *,
+        seed: RandomState = None,
+        method: str = "auto",
+        shards: Optional[int] = None,
+        max_attempts: int = 1_000_000,
+    ) -> ParallelRunReport:
+        """Merged :class:`AggregateAccumulator` over ``count`` samples.
+
+        ``count`` is the fleet-wide accepted-sample target (wander-join: walk
+        attempts), split across shards.  Call ``report.accumulator.estimate()``
+        (or :func:`parallel_aggregate`) for confidence intervals.
+        """
+        tasks = self.plan_tasks(
+            queries,
+            count,
+            seed=seed,
+            method=method,
+            spec=spec,
+            shards=shards,
+            max_attempts=max_attempts,
+        )
+        results = self._run_with_epoch_guard(tasks)
+        report = self._base_report(tasks, results)
+        merged: Optional[AggregateAccumulator] = None
+        for result in results:
+            if result.accumulator is None:
+                continue
+            if merged is None:
+                merged = result.accumulator
+            else:
+                merged.merge(result.accumulator)
+        if merged is None:
+            merged = AggregateAccumulator(spec, tasks[0].queries[0].output_schema)
+        report.accumulator = merged
+        return report
+
+    # -------------------------------------------------------------- internals
+    def _resolve_backend(
+        self,
+        queries: Tuple[JoinQuery, ...],
+        method: str,
+        spec: Optional[AggregateSpec],
+    ) -> str:
+        supported = supported_backends(list(queries) if len(queries) > 1 else queries[0])
+        if method == "auto":
+            if len(queries) > 1:
+                return "online-union"
+            from repro.aqp.planner import SamplerPlanner
+
+            backend = SamplerPlanner(queries[0]).plan().backend
+            if spec is None and backend == "wander-join":
+                # Wander walks are HT-weighted, not uniform: never hand them
+                # out for plain sampling.
+                backend = "exact-weight"
+            return backend
+        if method not in SHARD_BACKENDS:
+            raise ValueError(f"method must be 'auto' or one of {SHARD_BACKENDS}, got {method!r}")
+        if method not in supported:
+            raise ValueError(
+                f"backend {method!r} cannot sample this query shape; supported: {supported}"
+            )
+        if method == "wander-join" and spec is None:
+            raise ValueError("wander-join produces HT-weighted walks, not uniform samples; "
+                             "use it with aggregate() or pick exact-weight/olken")
+        return method
+
+    def _resolve_execution(self, tasks: Sequence[ShardTask]) -> str:
+        if self.execution != "auto":
+            return self.execution
+        if self.workers <= 1 or (os.cpu_count() or 1) <= 1:
+            return "thread"
+        if sum(t.count for t in tasks) < SMALL_JOB_THRESHOLD:
+            return "thread"
+        if not _tasks_picklable(tasks):
+            return "thread"
+        return "process"
+
+    def _run_threads(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        if self.workers == 1 or len(tasks) == 1:
+            return [run_shard(task) for task in tasks]
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(tasks))) as executor:
+            return list(executor.map(run_shard, tasks))
+
+    def _run_processes(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        import multiprocessing as mp
+
+        context = mp.get_context(self.start_method)
+        processes = min(self.workers, len(tasks))
+        pool = context.Pool(processes=processes)
+        try:
+            async_result = pool.map_async(run_shard, tasks, chunksize=1)
+            try:
+                results = async_result.get(timeout=self.job_timeout)
+            except mp.TimeoutError:
+                pool.terminate()
+                raise RuntimeError(
+                    f"parallel job timed out after {self.job_timeout}s "
+                    f"({len(tasks)} shards on {processes} workers); pool terminated"
+                ) from None
+            pool.close()
+        except Exception:
+            pool.terminate()
+            raise
+        finally:
+            pool.join()
+        return results
+
+    def _run_with_epoch_guard(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+        """Run the job, discarding and restarting on mutation epoch bumps."""
+        queries = tasks[0].queries
+        restarts = 0
+        while True:
+            before = observed_versions(queries)
+            results = self.run(tasks)
+            if observed_versions(queries) == before:
+                return results
+            # A refresh() epoch bump landed while shards were in flight: the
+            # results mix database snapshots, so they are discarded wholesale
+            # (the PR 2/PR 3 restart semantics) and the job re-runs against
+            # the new snapshot.
+            restarts += 1
+            self.epochs_restarted += 1
+            if restarts > self.max_epoch_restarts:
+                raise RuntimeError(
+                    f"parallel job restarted {restarts} times on mutation epochs "
+                    "without completing; pause the update stream or raise "
+                    "max_epoch_restarts"
+                )
+
+    def _base_report(
+        self, tasks: Sequence[ShardTask], results: Sequence[ShardResult]
+    ) -> ParallelRunReport:
+        return ParallelRunReport(
+            backend=tasks[0].backend,
+            execution=self._last_execution or self._resolve_execution(tasks),
+            workers=self.workers,
+            shards=len(tasks),
+            attempts=sum(r.attempts for r in results),
+            accepted=sum(r.accepted for r in results),
+            epochs_restarted=self.epochs_restarted,
+            per_shard=[
+                {"shard": r.shard_id, "attempts": r.attempts, "accepted": r.accepted}
+                for r in results
+            ],
+        )
+
+
+def _tasks_picklable(tasks: Sequence[ShardTask]) -> bool:
+    """True when every task survives pickling (specs may carry lambdas)."""
+    try:
+        pickle.dumps(tasks[0])
+    except Exception:
+        return False
+    return True
+
+
+def _reject_degenerate_union_count(spec: AggregateSpec) -> None:
+    """Parallel twin of OnlineAggregator's degenerate-COUNT(*) guard.
+
+    Union shards warm up with *estimated* parameters, so an unfiltered
+    COUNT(*) would echo the union-size estimate with a zero-width interval.
+    """
+    if spec.kind != "count" or spec.where is not None or spec.group_attributes:
+        return
+    raise ValueError(
+        "COUNT(*) over a union of joins just echoes the union-size parameter "
+        "(every sample contributes the same |U|); use the union-size "
+        "estimators, or add a where filter / group-by"
+    )
+
+
+# ----------------------------------------------------------------- convenience
+def parallel_sample(
+    queries: Union[JoinQuery, Sequence[JoinQuery]],
+    count: int,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    seed: RandomState = None,
+    method: str = "auto",
+    execution: str = "auto",
+    job_timeout: Optional[float] = None,
+    max_attempts: int = 1_000_000,
+) -> ParallelRunReport:
+    """One-shot parallel sampling: plan shards, fan out, merge in shard order."""
+    pool = ParallelSamplerPool(workers=workers, execution=execution, job_timeout=job_timeout)
+    return pool.sample(
+        queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
+    )
+
+
+def parallel_aggregate(
+    queries: Union[JoinQuery, Sequence[JoinQuery]],
+    spec: AggregateSpec,
+    count: int,
+    *,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+    seed: RandomState = None,
+    method: str = "auto",
+    execution: str = "auto",
+    job_timeout: Optional[float] = None,
+    max_attempts: int = 1_000_000,
+    confidence: float = 0.95,
+    ci_method: str = "clt",
+) -> AggregateReport:
+    """One-shot parallel aggregation with confidence intervals.
+
+    Bit-identical to running the same shard plan sequentially: the partial
+    accumulators merge through the exactly-rounded merge law, so the report
+    does not depend on worker count, execution backend, or arrival order.
+    """
+    pool = ParallelSamplerPool(workers=workers, execution=execution, job_timeout=job_timeout)
+    report = pool.aggregate(
+        queries,
+        spec,
+        count,
+        seed=seed,
+        method=method,
+        shards=shards,
+        max_attempts=max_attempts,
+    )
+    assert report.accumulator is not None
+    return report.accumulator.estimate(confidence=confidence, ci_method=ci_method)
+
+
+def sequential_reference(tasks: Sequence[ShardTask]) -> List[ShardResult]:
+    """Run a shard plan in a plain in-process loop (the determinism oracle).
+
+    Benchmarks and tests compare the parallel service's merged answers
+    against this reference to prove bit-identical fan-out/merge.
+    """
+    return [run_shard(task) for task in tasks]
+
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "EXECUTION_MODES",
+    "SMALL_JOB_THRESHOLD",
+    "ParallelRunReport",
+    "ParallelSamplerPool",
+    "parallel_sample",
+    "parallel_aggregate",
+    "sequential_reference",
+]

@@ -1,0 +1,221 @@
+"""Shard specifications and the worker entry point of the parallel service.
+
+A parallel run is planned as a fixed list of **shards**.  Each shard is a
+self-contained, picklable :class:`ShardTask`: the queries to sample, the
+backend to use, the number of accepted samples (or walk attempts) the shard
+must produce, and a :class:`numpy.random.SeedSequence` child derived from the
+root seed with :func:`repro.utils.rng.shard_seed_sequences`.
+
+Because a shard's output depends only on its task — never on which worker
+executes it, whether that worker is a thread or a spawned process, or how
+many sibling shards run concurrently — the coordinator can merge shard
+results *in shard order* and obtain answers that are bit-identical to a
+sequential run of the same shard list.  For aggregation the merge is the
+:meth:`repro.aqp.estimators.AggregateAccumulator.merge` law (exactly-rounded
+sums, chunk-order-invariant); for plain sampling it is list concatenation.
+
+:func:`run_shard` is the single worker entry point.  It must stay a
+module-level function: ``multiprocessing`` with the ``spawn`` start method
+imports this module inside the worker and looks the function up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aqp.estimators import AggregateAccumulator, AggregateSpec
+from repro.joins.query import JoinQuery
+
+#: Backends a shard can run.  ``wander-join`` is aggregate-only (its walks
+#: carry Horvitz–Thompson weights, not uniform samples).
+SHARD_BACKENDS = ("exact-weight", "olken", "wander-join", "online-union")
+
+#: Backend -> JoinSampler weight-function name.
+_JOIN_WEIGHTS = {"exact-weight": "ew", "olken": "eo"}
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One self-contained unit of parallel work (picklable).
+
+    Attributes
+    ----------
+    shard_id:
+        Position of this shard in the plan; results merge in this order.
+    queries:
+        The query (or union-compatible queries) to sample.  Process workers
+        receive a pickled copy of the base relations; thread workers share
+        the coordinator's objects.
+    backend:
+        One of :data:`SHARD_BACKENDS`.
+    count:
+        Accepted samples this shard must produce (``wander-join``: walk
+        *attempts*, since walks are the attempt unit of that backend).
+    seed:
+        The shard's independent :class:`numpy.random.SeedSequence` child.
+    spec:
+        Aggregate to accumulate, or ``None`` for plain sampling.  Process
+        execution requires the spec (notably its ``where`` callable) to be
+        picklable; the pool falls back to threads otherwise.
+    max_attempts:
+        Attempt budget forwarded to the underlying sampler.
+    """
+
+    shard_id: int
+    queries: Tuple[JoinQuery, ...]
+    backend: str
+    count: int
+    seed: np.random.SeedSequence
+    spec: Optional[AggregateSpec] = None
+    max_attempts: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.backend not in SHARD_BACKENDS:
+            raise ValueError(f"backend must be one of {SHARD_BACKENDS}, got {self.backend!r}")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if not self.queries:
+            raise ValueError("a shard needs at least one query")
+        if self.backend == "wander-join" and self.spec is None:
+            raise ValueError("wander-join shards are aggregate-only (HT weights)")
+
+
+@dataclass
+class ShardResult:
+    """What one shard hands back to the coordinator (picklable).
+
+    Exactly one of ``accumulator`` (aggregate mode) or ``values`` (sampling
+    mode) is populated.  ``attempts``/``accepted`` mirror the sampler's
+    attempt-level accounting so the coordinator can report fleet totals.
+    """
+
+    shard_id: int
+    attempts: int = 0
+    accepted: int = 0
+    accumulator: Optional[AggregateAccumulator] = None
+    values: List[Tuple] = field(default_factory=list)
+    sources: List[str] = field(default_factory=list)
+    #: per-relation version counters observed when the shard started, used by
+    #: the coordinator's epoch guard (thread workers share live relations)
+    db_versions: Tuple[int, ...] = ()
+
+
+def observed_versions(queries: Tuple[JoinQuery, ...]) -> Tuple[int, ...]:
+    """Version counters of every base relation, in query/declaration order."""
+    versions: List[int] = []
+    for query in queries:
+        versions.extend(r.version for r in query.relations.values())
+    return tuple(versions)
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard; the worker entry point for threads and processes.
+
+    The draw stream depends only on ``task.seed`` and the relation contents,
+    so thread and process execution of the same task return identical
+    results.
+    """
+    rng = np.random.default_rng(task.seed)
+    result = ShardResult(shard_id=task.shard_id, db_versions=observed_versions(task.queries))
+    if task.count == 0:
+        if task.spec is not None:
+            result.accumulator = AggregateAccumulator(
+                task.spec, task.queries[0].output_schema
+            )
+        return result
+    if task.backend == "online-union":
+        _run_union_shard(task, rng, result)
+    elif task.backend == "wander-join":
+        _run_wander_shard(task, rng, result)
+    else:
+        _run_join_shard(task, rng, result)
+    return result
+
+
+def _run_join_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:
+    """Accept/reject JoinSampler shard (exact-weight / olken)."""
+    from repro.sampling.join_sampler import JoinSampler
+
+    query = task.queries[0]
+    sampler = JoinSampler(query, weights=_JOIN_WEIGHTS[task.backend], seed=rng)
+    if task.spec is not None:
+        accumulator = AggregateAccumulator(task.spec, query.output_schema)
+        total_weight = sampler.weight_function.total_weight
+        if total_weight <= 0:
+            # Empty join: every attempt fails; account them directly, exactly
+            # like OnlineAggregator._step_join does sequentially.
+            accumulator.observe([], attempts=task.count, weight=1.0)
+        else:
+            draws = sampler.sample_batch(task.count, max_attempts=task.max_attempts)
+            draws.extend(sampler.pop_buffered())
+            accumulator.observe(
+                [d.value for d in draws],
+                attempts=sampler.stats.attempts,
+                weight=total_weight,
+            )
+        result.accumulator = accumulator
+        # Read the counters off the accumulator, not the sampler: the
+        # empty-join branch accounts its failed attempts there without ever
+        # touching the sampler, and both must agree in the merged report.
+        result.attempts = accumulator.attempts
+        result.accepted = accumulator.accepted
+    else:
+        draws = sampler.sample_batch(task.count, max_attempts=task.max_attempts)
+        result.values = [d.value for d in draws]
+        result.sources = [query.name] * len(draws)
+        result.attempts = sampler.stats.attempts
+        result.accepted = sampler.stats.accepted
+
+
+def _run_wander_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:
+    """Wander-join shard: ``count`` walk attempts with per-walk HT weights."""
+    from repro.sampling.wander_join import WanderJoin
+
+    query = task.queries[0]
+    walker = WanderJoin(query, seed=rng)
+    walks = walker.walk_batch(task.count)
+    values = []
+    weights = []
+    for walk in walks:
+        if walk.success and walk.probability > 0:
+            values.append(walk.value)
+            weights.append(1.0 / walk.probability)
+    accumulator = AggregateAccumulator(task.spec, query.output_schema)
+    accumulator.observe(values, attempts=task.count, weights=weights)
+    result.accumulator = accumulator
+    result.attempts = task.count
+    result.accepted = len(values)
+
+
+def _run_union_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:
+    """Set-union shard via :class:`OnlineUnionSampler` (histogram warm-up).
+
+    The cheap histogram warm-up keeps per-shard fixed costs low — a parallel
+    run pays the warm-up once per shard, not once per job.
+    """
+    from repro.core.online_sampler import OnlineUnionSampler
+
+    sampler = OnlineUnionSampler(list(task.queries), seed=rng, warmup="histogram")
+    sample_result = sampler.sample(task.count)
+    if task.spec is not None:
+        accumulator = AggregateAccumulator(task.spec, task.queries[0].output_schema)
+        union_size = float(sample_result.parameters.union_size)
+        accumulator.observe(
+            [s.value for s in sample_result.samples],
+            attempts=len(sample_result.samples),
+            weight=union_size,
+        )
+        result.accumulator = accumulator
+        result.attempts = accumulator.attempts
+        result.accepted = accumulator.accepted
+    else:
+        result.values = [s.value for s in sample_result.samples]
+        result.sources = [s.source_join for s in sample_result.samples]
+        result.attempts = sample_result.stats.iterations
+        result.accepted = len(sample_result.samples)
+
+
+__all__ = ["SHARD_BACKENDS", "ShardTask", "ShardResult", "observed_versions", "run_shard"]

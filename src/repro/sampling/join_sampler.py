@@ -30,6 +30,7 @@ Two execution paths produce identically-distributed samples:
 from __future__ import annotations
 
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -42,7 +43,7 @@ from repro.sampling.weights import (
     WeightFunction,
     make_weight_function,
 )
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 
 
 @dataclass
@@ -130,6 +131,12 @@ class JoinSampler:
         rejected on failure (§8.3 second alternative).
     max_batch_size:
         Upper bound on the number of simultaneous walks of one batched pass.
+    parallelism:
+        When > 1, :meth:`sample_batch` / :meth:`sample_many` fan the request
+        out across that many internal shard samplers (created lazily via
+        :meth:`split`, seeds derived from this sampler's stream) running on a
+        thread pool, and concatenate the results in shard order — so the
+        draw sequence is deterministic for a fixed seed and parallelism.
     """
 
     def __init__(
@@ -140,6 +147,7 @@ class JoinSampler:
         tree: Optional[JoinTree] = None,
         enforce_predicates: bool = True,
         max_batch_size: int = 8192,
+        parallelism: int = 1,
     ) -> None:
         self.query = query
         self.tree = tree or build_join_tree(query)
@@ -168,6 +176,8 @@ class JoinSampler:
         self._buffer: Deque[SampleDraw] = deque()
         self._min_batch_size = 32
         self._max_batch_size = max(int(max_batch_size), 1)
+        self.parallelism = max(int(parallelism), 1)
+        self._shard_samplers: Optional[List["JoinSampler"]] = None
         self._load_root_weights()
 
     def _load_root_weights(self) -> None:
@@ -206,6 +216,11 @@ class JoinSampler:
         self._load_root_weights()
         self._plans = None
         self._buffer.clear()
+        if self._shard_samplers:
+            # Shard buffers hold previous-epoch draws too; re-sync them now so
+            # pop_buffered() can never hand out stale shard draws.
+            for shard in self._shard_samplers:
+                shard.refresh()
         self._db_versions = versions
         return True
 
@@ -300,12 +315,22 @@ class JoinSampler:
 
         Rejected walks are retried in adaptively-sized batches; a stretch of
         ``max_attempts`` consecutive rejected walks raises ``RuntimeError``
-        (bound too loose or empty join).  Surplus accepted walks are kept in
-        the internal buffer for subsequent calls.
+        (bound too loose or empty join).  On that error the samples accepted
+        so far are parked in the internal buffer — never dropped — so a
+        retry (or a later call) picks them up.  Surplus accepted walks are
+        likewise kept in the buffer for subsequent calls.  ``count=0``
+        returns an empty list without consuming random state or touching the
+        buffer.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
         self.refresh()
+        if count == 0:
+            return []
+        if self.parallelism > 1:
+            return self._sample_batch_parallel(count, max_attempts)
         draws: List[SampleDraw] = []
         while self._buffer and len(draws) < count:
             draws.append(self._buffer.popleft())
@@ -320,6 +345,10 @@ class JoinSampler:
             else:
                 attempts_since_accept += size
                 if attempts_since_accept >= max_attempts:
+                    # Park the accepted work instead of losing it: the buffer
+                    # stays consistent, so a later call (e.g. after the
+                    # caller raises its budget) continues cleanly.
+                    self._buffer.extend(draws)
                     raise RuntimeError(
                         f"JoinSampler on {self.query.name!r} failed to accept a sample "
                         f"after {max_attempts} attempts (bound too loose or empty join)"
@@ -332,11 +361,80 @@ class JoinSampler:
 
         The AQP layer consumes every accepted draw of a batch so that its
         attempt-level accounting (accepted vs. rejected walks, read off
-        :attr:`stats`) stays aligned with the draws it ingested.
+        :attr:`stats`) stays aligned with the draws it ingested.  With
+        ``parallelism > 1`` the shard samplers' buffers are drained too.
         """
         drained = list(self._buffer)
         self._buffer.clear()
+        if self._shard_samplers:
+            for shard in self._shard_samplers:
+                drained.extend(shard.pop_buffered())
         return drained
+
+    def split(self, count: int, seed: RandomState = None) -> List["JoinSampler"]:
+        """``count`` independent shard samplers over the same join.
+
+        The shards share this sampler's weight function and join tree (so the
+        expensive weight computation is paid once) but draw from independent
+        streams derived via :func:`~repro.utils.rng.spawn_rngs` — by default
+        from this sampler's own stream, so a fixed parent seed yields a fixed
+        family of shards.  Shards are safe to run on concurrent threads as
+        long as the base relations do not mutate mid-batch (the coordinator
+        epoch guard in :mod:`repro.parallel` handles mutations between
+        batches).
+        """
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        streams = spawn_rngs(self.rng if seed is None else seed, count)
+        return [
+            JoinSampler(
+                self.query,
+                weights=self.weight_function,
+                seed=stream,
+                tree=self.tree,
+                enforce_predicates=self.enforce_predicates,
+                max_batch_size=self._max_batch_size,
+            )
+            for stream in streams
+        ]
+
+    def _sample_batch_parallel(self, count: int, max_attempts: int) -> List[SampleDraw]:
+        """Fan ``count`` across the shard samplers; concatenate in shard order."""
+        # Serve parked draws first (same contract as the sequential path: the
+        # buffer may hold accepted work preserved by an earlier failure).
+        draws: List[SampleDraw] = []
+        while self._buffer and len(draws) < count:
+            draws.append(self._buffer.popleft())
+        remaining = count - len(draws)
+        if remaining == 0:
+            return draws
+        if self._shard_samplers is None:
+            self._shard_samplers = self.split(self.parallelism)
+        shards = self._shard_samplers
+        base, extra = divmod(remaining, len(shards))
+        quotas = [base + (1 if i < extra else 0) for i in range(len(shards))]
+        before = [_stats_snapshot(s.stats) for s in shards]
+        with ThreadPoolExecutor(max_workers=len(shards)) as executor:
+            futures = [
+                executor.submit(shard.sample_batch, quota, max_attempts) if quota else None
+                for shard, quota in zip(shards, quotas)
+            ]
+            error: Optional[BaseException] = None
+            for future in futures:
+                if future is None:
+                    continue
+                try:
+                    draws.extend(future.result())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    error = error or exc
+        for shard, snapshot in zip(shards, before):
+            _merge_stats_delta(self.stats, shard.stats, snapshot)
+        if error is not None:
+            # Preserve whatever the healthy shards produced (mirrors the
+            # sequential exhaustion path) before surfacing the failure.
+            self._buffer.extend(draws)
+            raise error
+        return draws
 
     # ------------------------------------------------------------- batch path
     def _next_batch_size(self, need: int) -> int:
@@ -551,6 +649,28 @@ class JoinSampler:
             if not predicate.evaluate(row, relation.schema):
                 return False
         return True
+
+
+_STATS_FIELDS = (
+    "attempts",
+    "accepted",
+    "rejected_weight",
+    "rejected_empty",
+    "rejected_residual",
+    "rejected_predicate",
+)
+
+
+def _stats_snapshot(stats: JoinSamplerStats) -> Tuple[int, ...]:
+    return tuple(getattr(stats, name) for name in _STATS_FIELDS)
+
+
+def _merge_stats_delta(
+    target: JoinSamplerStats, shard: JoinSamplerStats, snapshot: Tuple[int, ...]
+) -> None:
+    """Add a shard's counter growth since ``snapshot`` into ``target``."""
+    for name, previous in zip(_STATS_FIELDS, snapshot):
+        setattr(target, name, getattr(target, name) + getattr(shard, name) - previous)
 
 
 __all__ = ["JoinSampler", "JoinSamplerStats", "SampleDraw"]

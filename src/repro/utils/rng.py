@@ -4,6 +4,29 @@ Every stochastic component in the library accepts either an integer seed, an
 existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
 module centralizes the conversion so that experiments are reproducible while
 library users keep a familiar ``seed=`` keyword.
+
+The aliasing contract
+---------------------
+
+:func:`ensure_rng` returns a *passed-in generator unchanged*.  That is the
+right behaviour for threading one stream through a sequential pipeline, but it
+means that handing the **same** ``Generator`` (or the same **integer seed**)
+to two sibling components makes them consume the **same stream**: their draws
+interleave (shared generator) or repeat verbatim (shared int seed), silently
+correlating samplers that the estimator math assumes are independent.
+
+The rules every call site in this library follows — and that user code should
+follow too:
+
+* one component, one stream: a component may thread ``self.rng`` through its
+  *own* sequential steps, but must never hand ``self.rng`` itself to two
+  sub-components that draw independently;
+* sub-streams are **derived**, not shared: use :func:`spawn_rngs` (child
+  ``Generator`` objects) or :func:`shard_seed_sequences` (picklable
+  :class:`numpy.random.SeedSequence` children for parallel workers) so each
+  sub-component gets a statistically independent stream from one root seed;
+* reproducibility lives at the root: deriving children from an ``int`` seed
+  is deterministic, so experiments stay replayable without stream sharing.
 """
 
 from __future__ import annotations
@@ -24,6 +47,12 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
         ``None`` (fresh entropy), an ``int`` seed, or an existing generator
         (returned unchanged so that callers can thread one generator through
         a whole pipeline).
+
+    .. warning::
+       Because generators pass through unchanged, giving the *same* generator
+       (or the same ``int`` seed) to two components aliases their streams —
+       see the module docstring.  Derive independent sub-streams with
+       :func:`spawn_rngs` or :func:`shard_seed_sequences` instead.
     """
     if isinstance(seed, np.random.Generator):
         return seed
@@ -45,6 +74,29 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
         child_seeds = seed.integers(0, 2**63 - 1, size=count)
         return [np.random.default_rng(int(s)) for s in child_seeds]
     return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def shard_seed_sequences(seed: RandomState, count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent, *picklable* child seeds for parallel shards.
+
+    Unlike :func:`spawn_rngs` (which returns live ``Generator`` objects) this
+    returns :class:`numpy.random.SeedSequence` children, which pickle cheaply
+    and reproduce the exact same stream in a worker process as they would in
+    a thread: ``np.random.default_rng(seq)`` on either side of the process
+    boundary yields identical draws.  The children depend only on ``seed``
+    and ``count`` — not on how many workers later execute the shards — which
+    is what makes parallel runs bit-identical across worker counts.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.SeedSequence):
+        return list(seed.spawn(count))
+    if isinstance(seed, np.random.Generator):
+        # Derive one entropy value from the generator's own stream so a
+        # threaded root generator still produces independent shard seeds.
+        entropy = int(seed.integers(0, 2**63 - 1))
+        return list(np.random.SeedSequence(entropy).spawn(count))
+    return list(np.random.SeedSequence(seed).spawn(count))
 
 
 def weighted_choice(
@@ -123,6 +175,7 @@ __all__ = [
     "RandomState",
     "ensure_rng",
     "spawn_rngs",
+    "shard_seed_sequences",
     "weighted_choice",
     "bernoulli",
     "BatchedCategorical",

@@ -10,7 +10,11 @@ Two invariants are pinned here:
 * **merge law**: an :class:`~repro.aqp.AggregateAccumulator` fed one stream
   in chunks, with the partial accumulators merged back in *any* order,
   produces bit-identical estimates and confidence intervals to a single
-  accumulator fed the whole stream (exactly-rounded summation).
+  accumulator fed the whole stream (exactly-rounded summation);
+* **parallel determinism**: the parallel sampling service built on that
+  merge law answers bit-identically for any worker count — same query, same
+  seed, same shard plan ⇒ same merged estimate and CI bounds whether 1, 2,
+  3, or 7 workers executed the shards.
 """
 
 from __future__ import annotations
@@ -257,3 +261,59 @@ def _same(x: float, y: float) -> bool:
     if math.isnan(x) and math.isnan(y):
         return True
     return x == y
+
+
+# -------------------------------------------------------- parallel determinism
+class TestParallelWorkerInvariance:
+    """Worker count is an execution knob, never part of the answer.
+
+    The parallel service plans a fixed shard list from (query, seed, shards)
+    and merges shard accumulators through the merge law pinned above, so any
+    worker count must reproduce the single-worker report bit for bit.
+    """
+
+    @given(
+        workers=st.sampled_from([1, 2, 3, 7]),
+        shards=st.integers(1, 6),
+        seed=st.integers(0, 2**20),
+        count=st.integers(0, 48),
+        rows_r=rows_ab,
+        rows_s=rows_bc,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_worker_count_gives_identical_reports(
+        self, workers, shards, seed, count, rows_r, rows_s
+    ):
+        from repro.parallel import parallel_aggregate
+
+        query = _chain(rows_r, rows_s, None, True)
+        spec = AggregateSpec("sum", attribute="c")
+        kwargs = dict(
+            seed=seed,
+            shards=shards,
+            method="exact-weight",
+            execution="thread",
+            max_attempts=10_000,
+        )
+        reference = parallel_aggregate(query, spec, count, workers=1, **kwargs)
+        run = parallel_aggregate(query, spec, count, workers=workers, **kwargs)
+        assert run.attempts == reference.attempts
+        assert run.accepted == reference.accepted
+        assert set(run.estimates) == set(reference.estimates)
+        for group in reference.estimates:
+            expected, observed = reference.estimates[group], run.estimates[group]
+            assert _same(expected.estimate, observed.estimate)
+            assert _same(expected.ci_low, observed.ci_low)
+            assert _same(expected.ci_high, observed.ci_high)
+
+    @given(workers=st.sampled_from([2, 3, 7]), seed=st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_sampling_mode_worker_invariance(self, workers, seed):
+        from repro.parallel import parallel_sample
+
+        query = _chain([(i, i % 3) for i in range(12)], [(b, b + 10) for b in range(3)],
+                       None, True)
+        reference = parallel_sample(query, 24, workers=1, seed=seed, execution="thread")
+        run = parallel_sample(query, 24, workers=workers, seed=seed, execution="thread")
+        assert run.values == reference.values
+        assert run.attempts == reference.attempts

@@ -1,9 +1,10 @@
 """Golden-output regression tests for the CLI.
 
-Each case runs ``repro <subcommand>`` with fixed seeds and compares the
-stdout — minus wall-clock lines — against a checked-in golden file in
-``tests/goldens/``.  The goldens pin the full user-visible behaviour of the
-CLI (estimates, intervals, sample values, planner decisions), so an
+Each case runs ``repro <subcommand>`` with fixed seeds and compares exit
+code, stdout — minus wall-clock lines — and stderr against a checked-in
+golden file in ``tests/goldens/``.  The goldens pin the full user-visible
+behaviour of the CLI (estimates, intervals, sample values, planner
+decisions, *and* the one-line error messages of the failure paths), so an
 accidental change to any layer underneath shows up as a readable diff.
 
 Regenerate after an intentional behaviour change with::
@@ -37,6 +38,13 @@ CASES = {
         "--sampler", "set-union", "--warmup", "histogram",
         "--weights", "auto", *COMMON,
     ],
+    # The parallel service answer must not depend on the worker count, so the
+    # same golden is asserted for 2 and 3 workers (see test_parallel_workers
+    # below).
+    "cli_sample_parallel.json": [
+        "sample", "--workload", "UQ1", "--samples", "12",
+        "--workers", "2", *COMMON,
+    ],
     "cli_estimate_uq2.json": [
         "estimate", "--workload", "UQ2", "--walks", "120", *COMMON,
     ],
@@ -54,6 +62,41 @@ CASES = {
         "--aggregate", "sum", "--attribute", "totalprice",
         "--rel-error", "0.1", "--json", *COMMON,
     ],
+    "cli_aggregate_parallel.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.1",
+        "--workers", "2", "--json", *COMMON,
+    ],
+    # ----------------------------------------------------------- error paths
+    # Invalid flag combinations must exit non-zero with a one-line stderr
+    # message, never a traceback.
+    "cli_err_sample_workers_zero.json": [
+        "sample", "--workload", "UQ1", "--workers", "0", *COMMON,
+    ],
+    "cli_err_sample_workers_with_sampler_flags.json": [
+        "sample", "--workload", "UQ1", "--workers", "2",
+        "--sampler", "bernoulli", "--weights", "eo", *COMMON,
+    ],
+    "cli_err_aggregate_workers_negative.json": [
+        "aggregate", "--workload", "UQ1", "--workers", "-2", *COMMON,
+    ],
+    "cli_err_sum_missing_attribute.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum", *COMMON,
+    ],
+    "cli_err_union_backend_on_join.json": [
+        "aggregate", "--workload", "UQ1", "--method", "online-union", *COMMON,
+    ],
+    "cli_err_join_backend_on_union.json": [
+        "aggregate", "--workload", "UQ3", "--target", "union",
+        "--method", "wander-join", *COMMON,
+    ],
+    "cli_err_count_star_over_union.json": [
+        "aggregate", "--workload", "UQ3", "--target", "union",
+        "--aggregate", "count", *COMMON,
+    ],
+    "cli_err_unknown_join_name.json": [
+        "aggregate", "--workload", "UQ1", "--query", "NOPE", *COMMON,
+    ],
 }
 
 
@@ -66,21 +109,32 @@ def _normalize(output: str) -> List[str]:
     ]
 
 
+def _run_case(args: List[str], capsys) -> dict:
+    code = main(args)
+    captured = capsys.readouterr()
+    return {
+        "args": args,
+        "exit_code": code,
+        "lines": _normalize(captured.out),
+        "stderr": _normalize(captured.err),
+    }
+
+
 @pytest.mark.parametrize("name", sorted(CASES))
 def test_cli_golden(name, capsys):
     args = CASES[name]
-    code = main(args)
-    output = capsys.readouterr().out
-    assert code == 0
-    lines = _normalize(output)
-    path = GOLDEN_DIR / name
+    observed = _run_case(args, capsys)
+    if name.startswith("cli_err_"):
+        assert observed["exit_code"] != 0, "error cases must exit non-zero"
+        assert len(observed["stderr"]) == 1, "error cases print exactly one stderr line"
+        assert observed["stderr"][0].startswith("error: ")
+    else:
+        assert observed["exit_code"] == 0
 
+    path = GOLDEN_DIR / name
     if UPDATE_GOLDENS:
         GOLDEN_DIR.mkdir(exist_ok=True)
-        path.write_text(
-            json.dumps({"args": args, "lines": lines}, indent=2) + "\n",
-            encoding="utf-8",
-        )
+        path.write_text(json.dumps(observed, indent=2) + "\n", encoding="utf-8")
     if not path.exists():
         pytest.fail(
             f"golden {path.name} missing; regenerate with "
@@ -88,7 +142,22 @@ def test_cli_golden(name, capsys):
         )
     golden = json.loads(path.read_text(encoding="utf-8"))
     assert golden["args"] == args, "golden was generated with different arguments"
-    assert lines == golden["lines"]
+    assert observed["exit_code"] == golden["exit_code"]
+    assert observed["lines"] == golden["lines"]
+    assert observed["stderr"] == golden["stderr"]
+
+
+def test_parallel_workers_do_not_change_the_answer(capsys):
+    """--workers N is an execution knob: the golden holds for other counts."""
+    base = CASES["cli_sample_parallel.json"]
+    swapped = ["3" if (base[i - 1] == "--workers") else arg for i, arg in enumerate(base)]
+    observed = _run_case(swapped, capsys)
+    path = GOLDEN_DIR / "cli_sample_parallel.json"
+    if not path.exists():  # pragma: no cover - covered by test_cli_golden
+        pytest.skip("golden not generated yet")
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert observed["lines"][1:] == golden["lines"][1:]  # header names the count
+    assert observed["exit_code"] == 0
 
 
 def test_goldens_have_no_timing_lines():

@@ -115,3 +115,108 @@ class TestTimers:
         assert merged.get("y") == 3.0
         # originals untouched
         assert a.get("x") == 1.0
+
+
+class TestShardSeedSequences:
+    def test_children_are_deterministic_and_picklable(self):
+        import pickle
+
+        from repro.utils.rng import shard_seed_sequences
+
+        first = shard_seed_sequences(42, 4)
+        second = shard_seed_sequences(42, 4)
+        for a, b in zip(first, second):
+            assert a.entropy == b.entropy and a.spawn_key == b.spawn_key
+        restored = pickle.loads(pickle.dumps(first))
+        for a, b in zip(first, restored):
+            draws_a = np.random.default_rng(a).integers(0, 2**60, size=4)
+            draws_b = np.random.default_rng(b).integers(0, 2**60, size=4)
+            assert list(draws_a) == list(draws_b)
+
+    def test_children_are_pairwise_distinct(self):
+        from repro.utils.rng import shard_seed_sequences
+
+        streams = [
+            tuple(np.random.default_rng(s).integers(0, 2**60, size=4))
+            for s in shard_seed_sequences(0, 6)
+        ]
+        assert len(set(streams)) == 6
+
+    def test_generator_and_seedsequence_roots(self):
+        from repro.utils.rng import shard_seed_sequences
+
+        assert len(shard_seed_sequences(np.random.default_rng(1), 3)) == 3
+        assert len(shard_seed_sequences(np.random.SeedSequence(1), 3)) == 3
+        with pytest.raises(ValueError):
+            shard_seed_sequences(0, -1)
+
+
+class TestAliasingContract:
+    """Regression tests for the seed-aliasing bug class (see repro.utils.rng).
+
+    Handing the same generator or int seed to two sibling samplers aliases
+    their streams; every call site must derive sub-streams instead.
+    """
+
+    def _union(self):
+        from repro.joins.conditions import JoinCondition, OutputAttribute
+        from repro.joins.query import JoinQuery
+        from repro.relational.relation import Relation
+
+        def chain(name, offset):
+            return JoinQuery(
+                name,
+                [
+                    Relation("R", ["a", "b"], [(offset + i, i % 3) for i in range(9)]),
+                    Relation("S", ["b", "c"], [(b, 10 + b) for b in range(3)]),
+                ],
+                [JoinCondition("R", "b", "S", "b")],
+                [OutputAttribute("a", "R", "a"), OutputAttribute("c", "S", "c")],
+            )
+
+        return [chain("J0", 0), chain("J1", 100)]
+
+    def test_shared_int_seed_replays_identical_streams(self):
+        # The documented hazard itself: same int seed => same stream.
+        a = ensure_rng(123).integers(0, 2**60, size=8)
+        b = ensure_rng(123).integers(0, 2**60, size=8)
+        assert list(a) == list(b)
+
+    def test_union_sampler_per_join_samplers_never_alias(self):
+        from repro.core.online_sampler import OnlineUnionSampler
+
+        sampler = OnlineUnionSampler(self._union(), seed=7, warmup="histogram")
+        streams = [
+            tuple(js.rng.integers(0, 2**60, size=8))
+            for js in sampler.join_samplers.values()
+        ]
+        assert len(set(streams)) == len(streams)
+
+    def test_online_sampler_warmup_does_not_alias_selection_stream(self):
+        from repro.core.online_sampler import OnlineUnionSampler
+
+        queries = self._union()
+        # With the fix, the random-walk warm-up draws from a derived child
+        # stream; two samplers with the same seed but different warm-ups must
+        # still have pairwise-distinct join-sampler streams.
+        with_walks = OnlineUnionSampler(queries, seed=11, walks_per_join=10)
+        streams = [
+            tuple(js.rng.integers(0, 2**60, size=8))
+            for js in with_walks.join_samplers.values()
+        ]
+        selection = tuple(with_walks.rng.integers(0, 2**60, size=8))
+        assert len(set(streams + [selection])) == len(streams) + 1
+
+    def test_set_union_sampler_join_samplers_never_alias(self):
+        from repro.core.union_sampler import SetUnionSampler
+        from repro.estimation.histogram import HistogramUnionEstimator
+
+        queries = self._union()
+        estimator = HistogramUnionEstimator(queries, join_size_method="eo")
+        sampler = SetUnionSampler(queries, estimator, seed=13)
+        streams = [
+            tuple(js.rng.integers(0, 2**60, size=8))
+            for js in sampler.join_samplers.values()
+        ]
+        streams.append(tuple(sampler.rng.integers(0, 2**60, size=8)))
+        assert len(set(streams)) == len(streams)
