@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-parallel bench-updates bench-full
+.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-updates bench-full profile
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -8,6 +8,16 @@ test:
 # Batched-engine micro-benchmark: writes BENCH_batch_engine.json at the root.
 bench:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_batch_engine.py
+
+# Columnar pipeline benchmark (block vs boxed end-to-end aggregate, dtype
+# audit, --workers 2 bit-identity): writes BENCH_pipeline.json at the root.
+bench-pipeline:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_pipeline.py
+
+# cProfile of the aggregate hot path; top-25 cumulative saved under
+# benchmarks/profiles/ (see docs/performance.md).
+profile:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/profile_aggregate.py
 
 # AQP benchmark (auto-planned vs hand-picked backends): writes BENCH_aqp.json.
 bench-aqp:

@@ -14,20 +14,13 @@ Run via ``make bench`` or::
 
 from __future__ import annotations
 
-import json
-import platform
-import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import machine_info, uq2_workload, write_report
 
-from repro.experiments.config import BENCH_CONFIG  # noqa: E402
 from repro.sampling.join_sampler import JoinSampler  # noqa: E402
 from repro.sampling.wander_join import WanderJoin  # noqa: E402
 from repro.sampling.weights import ExactWeightFunction  # noqa: E402
-from repro.tpch.workloads import build_uq2  # noqa: E402
 
 #: Scalar-path throughput of the seed revision (before the vectorized
 #: engine), measured with the same workload/scale/seed on the CI container.
@@ -53,14 +46,12 @@ def _batch_rate(sampler: JoinSampler, seconds: float = 0.5) -> float:
 
 
 def main() -> None:
-    workload = build_uq2(scale_factor=BENCH_CONFIG.scale_factor, seed=BENCH_CONFIG.seed)
+    workload = uq2_workload()
     query = workload.queries[0]
 
     report: dict = {
         "benchmark": "bench_micro sample-rate (UQ2, first join)",
-        "scale_factor": BENCH_CONFIG.scale_factor,
-        "seed": BENCH_CONFIG.seed,
-        "python": platform.python_version(),
+        **machine_info(),
         "seed_baseline_samples_per_sec": SEED_BASELINE,
         "results": {},
     }
@@ -100,10 +91,7 @@ def main() -> None:
         builds / (time.perf_counter() - started), 2
     )
 
-    out_path = REPO_ROOT / "BENCH_batch_engine.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(report, indent=2))
-    print(f"\nwritten to {out_path}")
+    write_report("BENCH_batch_engine.json", report)
 
 
 if __name__ == "__main__":

@@ -24,20 +24,13 @@ Run via ``make bench-parallel`` or::
 
 from __future__ import annotations
 
-import json
-import os
-import platform
 import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import machine_info, uq1_workload, write_report
 
 from repro.aqp import AggregateSpec  # noqa: E402
-from repro.experiments.config import BENCH_CONFIG  # noqa: E402
 from repro.parallel import ParallelSamplerPool, sequential_reference  # noqa: E402
-from repro.tpch.workloads import build_uq1  # noqa: E402
 
 WORKER_COUNTS = (1, 2, 4)
 SHARDS = 8
@@ -105,16 +98,13 @@ def bench_workload(name, queries, spec, count, seed, method="auto"):
 
 
 def main() -> int:
-    seed = BENCH_CONFIG.seed
-    cpu_count = os.cpu_count() or 1
-    uq1 = build_uq1(scale_factor=BENCH_CONFIG.scale_factor, overlap_scale=0.3, seed=seed)
+    info = machine_info()
+    seed = info["seed"]
+    uq1 = uq1_workload()
 
     report = {
         "benchmark": "parallel sampling service: scaling + deterministic merge",
-        "scale_factor": BENCH_CONFIG.scale_factor,
-        "seed": seed,
-        "python": platform.python_version(),
-        "cpu_count": cpu_count,
+        **info,
         "speedup_target_at_4_workers": SPEEDUP_TARGET,
         "note": (
             "the speedup target presumes >= 4 physical cores; on machines "
@@ -149,10 +139,7 @@ def main() -> int:
         w["meets_speedup_target"] for w in report["workloads"]
     )
 
-    out_path = REPO_ROOT / "BENCH_parallel.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(report, indent=2))
-    print(f"\nwritten to {out_path}")
+    write_report("BENCH_parallel.json", report)
     # Determinism is the hard gate; scaling depends on the machine's cores.
     return 0 if report["all_bit_identical"] else 1
 

@@ -23,14 +23,9 @@ Run via ``make bench-updates`` or::
 
 from __future__ import annotations
 
-import json
-import platform
-import sys
 import time
-from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-sys.path.insert(0, str(REPO_ROOT / "src"))
+from common import machine_info, write_report
 
 from repro.dynamic.scenario import build_order_stream_scenario  # noqa: E402
 from repro.dynamic.stream import apply_batch  # noqa: E402
@@ -109,7 +104,7 @@ def main() -> None:
             "samples_per_epoch": SAMPLES_PER_EPOCH,
             "stream": "TPC-H RF1/RF2 mixed insert/delete refresh batches",
         },
-        "python": platform.python_version(),
+        "python": machine_info()["python"],
         "results": {},
     }
     for mode in ("delta", "rebuild"):
@@ -121,10 +116,7 @@ def main() -> None:
     )
     report["results"]["delta_vs_rebuild_speedup"] = round(speedup, 2)
 
-    out_path = REPO_ROOT / "BENCH_updates.json"
-    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
-    print(json.dumps(report, indent=2))
-    print(f"\nwritten to {out_path}")
+    write_report("BENCH_updates.json", report)
 
 
 if __name__ == "__main__":

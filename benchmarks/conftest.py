@@ -19,9 +19,17 @@ from repro.experiments.reporting import SeriesTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
-#: Plain scripts (own `main()`, run via make bench / bench-aqp / bench-updates),
-#: not pytest-benchmark suites — keep them out of `pytest benchmarks/`.
-collect_ignore = ["bench_batch_engine.py", "bench_aqp.py", "bench_updates.py"]
+#: Plain scripts (own `main()`, run via the make bench-* targets), not
+#: pytest-benchmark suites — keep them out of `pytest benchmarks/`.
+collect_ignore = [
+    "bench_batch_engine.py",
+    "bench_aqp.py",
+    "bench_parallel.py",
+    "bench_pipeline.py",
+    "bench_updates.py",
+    "profile_aggregate.py",
+    "common.py",
+]
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""cProfile the aggregate hot path; keep the top-25 cumulative profile.
+
+Profiles the full columnar pipeline — ``JoinSampler.sample_block`` (alias
+draws over the CSR plans) feeding ``AggregateAccumulator.ingest_block`` —
+on the UQ1 SUM workload, and writes the top-25 cumulative-time functions to
+``benchmarks/profiles/aggregate_hotpath.txt`` (plus the raw ``.prof`` dump
+for ``snakeviz``/``pstats`` drill-downs).  This is the artifact to diff when
+a change claims to move the hot path; see docs/performance.md.
+
+Run via ``make profile`` or::
+
+    PYTHONPATH=src python benchmarks/profile_aggregate.py
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from common import uq1_workload
+
+from repro.aqp import AggregateAccumulator, AggregateSpec  # noqa: E402
+from repro.sampling.blocks import SampleBlock  # noqa: E402
+from repro.sampling.join_sampler import JoinSampler  # noqa: E402
+
+PROFILE_DIR = Path(__file__).resolve().parent / "profiles"
+BATCH = 4096
+ROUNDS = 60
+TOP = 25
+
+
+def aggregate_hot_path() -> int:
+    """The loop under profile: draw blocks, ingest columns, estimate once."""
+    query = uq1_workload().queries[0]
+    spec = AggregateSpec("sum", attribute="totalprice")
+    sampler = JoinSampler(query, weights="ew", seed=1)
+    accumulator = AggregateAccumulator(spec, query.output_schema)
+    total_weight = sampler.weight_function.total_weight
+    accepted = 0
+    for _ in range(ROUNDS):
+        before = sampler.stats.attempts
+        blocks = [sampler.sample_block(BATCH)]
+        blocks.extend(sampler.pop_buffered_blocks())
+        block = SampleBlock.concat(blocks)
+        accumulator.ingest_block(
+            block.value_columns(query),
+            attempts=sampler.stats.attempts - before,
+            weight=total_weight,
+        )
+        accepted += len(block)
+    accumulator.estimate()
+    return accepted
+
+
+def main() -> None:
+    PROFILE_DIR.mkdir(exist_ok=True)
+    profiler = cProfile.Profile()
+    accepted = profiler.runcall(aggregate_hot_path)
+
+    raw_path = PROFILE_DIR / "aggregate_hotpath.prof"
+    profiler.dump_stats(raw_path)
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(TOP)
+    text = (
+        f"# Aggregate hot path profile: {ROUNDS} x sample_block({BATCH}) -> "
+        f"ingest_block on UQ1 SUM(totalprice), {accepted} accepted samples\n"
+        f"# Regenerate with: make profile\n\n" + buffer.getvalue()
+    )
+    text_path = PROFILE_DIR / "aggregate_hotpath.txt"
+    text_path.write_text(text, encoding="utf-8")
+    print(text)
+    print(f"written to {text_path} (raw dump: {raw_path})")
+
+
+if __name__ == "__main__":
+    main()

@@ -93,6 +93,7 @@ from repro.sampling import (
     ExactWeightFunction,
     ExtendedOlkenWeightFunction,
     JoinSampler,
+    SampleBlock,
     WanderJoin,
     olken_upper_bound,
 )
@@ -133,6 +134,7 @@ __all__ = [
     "find_standard_template",
     # single-join sampling
     "JoinSampler",
+    "SampleBlock",
     "WanderJoin",
     "ExactWeightFunction",
     "ExtendedOlkenWeightFunction",

@@ -17,7 +17,7 @@ from repro.aqp.estimators import (
     AggregateSpec,
     exact_aggregate,
 )
-from repro.aqp.online import OnlineAggregator, aggregate
+from repro.aqp.online import OnlineAggregator, aggregate, planning_budget
 from repro.aqp.planner import (
     BACKENDS,
     SamplerPlan,
@@ -36,6 +36,7 @@ __all__ = [
     "exact_aggregate",
     "OnlineAggregator",
     "aggregate",
+    "planning_budget",
     "BACKENDS",
     "SamplerPlan",
     "SamplerPlanner",

@@ -253,6 +253,130 @@ class AggregateAccumulator:
             data.weights.append(w)
             data.values.append(g)
 
+    def ingest_block(
+        self,
+        columns: Sequence[np.ndarray],
+        attempts: int,
+        weight: Optional[float] = None,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Consume one chunk of accepted samples in columnar form.
+
+        ``columns`` are per-output-attribute value arrays in schema order
+        (:meth:`repro.sampling.blocks.SampleBlock.value_columns`); semantics
+        otherwise match :meth:`observe`.  ``where`` filters, the aggregate
+        value, and group keys are all evaluated with NumPy array ops — no
+        per-row Python objects — and the per-sample contributions stored are
+        **bit-identical** to what :meth:`observe` would store for the boxed
+        equivalent of the block, so the exactly-rounded merge law is
+        preserved: mixing ``observe`` and ``ingest_block`` chunks in any
+        order yields the same estimates.
+
+        A ``where`` callable may expose a vectorized twin as a ``columnar``
+        attribute (``columnar(name -> array) -> bool mask``); plain row
+        callables fall back to one Python pass over the zipped columns.
+        """
+        columns = [np.asarray(c) for c in columns]
+        if len(columns) != len(self.schema):
+            raise ValueError(
+                f"expected {len(self.schema)} columns (schema {self.schema}), "
+                f"got {len(columns)}"
+            )
+        k = len(columns[0]) if columns else 0
+        if any(len(c) != k for c in columns):
+            raise ValueError("block columns must share one length")
+        if attempts < k:
+            raise ValueError(
+                f"attempts ({attempts}) cannot be below accepted samples ({k})"
+            )
+        if (weight is None) == (weights is None):
+            raise ValueError("pass exactly one of weight= or weights=")
+        w_arr = None
+        if weights is not None:
+            w_arr = np.asarray(weights, dtype=float)
+            if len(w_arr) != k:
+                raise ValueError("weights must align with the block columns")
+        self.attempts += int(attempts)
+        self.accepted += k
+        if k == 0:
+            return
+
+        mask: Optional[np.ndarray] = None
+        where = self.spec.where
+        if where is not None:
+            columnar = getattr(where, "columnar", None)
+            if callable(columnar):
+                named = dict(zip(self.schema, columns))
+                mask = np.asarray(columnar(named), dtype=bool)
+                if mask.shape != (k,):
+                    raise ValueError("columnar where must return one bool per sample")
+            else:
+                rows = zip(*(c.tolist() for c in columns))
+                mask = np.fromiter(
+                    (bool(where(dict(zip(self.schema, row)))) for row in rows),
+                    dtype=bool,
+                    count=k,
+                )
+            if not bool(mask.any()):
+                return
+
+        if self._value_pos is None:
+            g_arr = np.ones(k, dtype=float)
+        else:
+            g_arr = np.asarray(columns[self._value_pos], dtype=float)
+        if mask is not None:
+            g_arr = g_arr[mask]
+            if w_arr is not None:
+                w_arr = w_arr[mask]
+
+        if not self._group_pos:
+            data = self._groups.get(GLOBAL_GROUP)
+            if data is None:
+                data = self._groups[GLOBAL_GROUP] = _GroupData()
+            data.values.extend(g_arr.tolist())
+            if w_arr is None:
+                data.weights.extend([float(weight)] * len(g_arr))
+            else:
+                data.weights.extend(w_arr.tolist())
+            return
+
+        group_cols = [
+            columns[p] if mask is None else columns[p][mask] for p in self._group_pos
+        ]
+        if len(group_cols) == 1 and group_cols[0].dtype != object:
+            # Single typed group column: unique + one stable argsort splits
+            # the block into per-group runs without touching Python rows.
+            uniq, inverse = np.unique(group_cols[0], return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            counts = np.bincount(inverse, minlength=len(uniq))
+            bounds = np.concatenate([[0], np.cumsum(counts)])
+            g_sorted = g_arr[order]
+            w_sorted = w_arr[order] if w_arr is not None else None
+            for gi, value in enumerate(uniq.tolist()):
+                lo, hi = int(bounds[gi]), int(bounds[gi + 1])
+                key = (value,)
+                data = self._groups.get(key)
+                if data is None:
+                    data = self._groups[key] = _GroupData()
+                data.values.extend(g_sorted[lo:hi].tolist())
+                if w_sorted is None:
+                    data.weights.extend([float(weight)] * (hi - lo))
+                else:
+                    data.weights.extend(w_sorted[lo:hi].tolist())
+            return
+
+        # Composite or object-typed keys: one Python pass to bucket rows.
+        key_rows = list(zip(*(c.tolist() for c in group_cols)))
+        g_list = g_arr.tolist()
+        w_list = w_arr.tolist() if w_arr is not None else None
+        shared = float(weight) if w_list is None else 0.0
+        for i, key in enumerate(key_rows):
+            data = self._groups.get(key)
+            if data is None:
+                data = self._groups[key] = _GroupData()
+            data.values.append(g_list[i])
+            data.weights.append(shared if w_list is None else w_list[i])
+
     def merge(self, other: "AggregateAccumulator") -> "AggregateAccumulator":
         """Fold another accumulator (same spec/schema) into this one."""
         if other.spec != self.spec or other.schema != self.schema:

@@ -28,8 +28,9 @@ from repro.aqp.planner import (
 )
 from repro.core.online_sampler import OnlineUnionSampler
 from repro.joins.query import JoinQuery
+from repro.sampling.blocks import SampleBlock
 from repro.sampling.join_sampler import JoinSampler
-from repro.sampling.wander_join import WanderJoin
+from repro.sampling.wander_join import WanderJoin, z_value
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 
 
@@ -228,6 +229,12 @@ class OnlineAggregator:
         if confidence is not None:
             self.confidence = confidence
         report = self.estimate()
+        # Geometric step schedule: start small so an easy target stops after
+        # a few hundred samples, grow toward the planned batch size so a
+        # tight target is not nickel-and-dimed by per-step overhead.  Total
+        # overshoot is bounded by the final step; total estimate() cost stays
+        # O(n log n).
+        step_size = min(self.batch_size, 256)
         while not self._converged(report, rel_error, min_accepted):
             if self.accumulator.attempts >= max_attempts:
                 raise RuntimeError(
@@ -235,7 +242,8 @@ class OnlineAggregator:
                     f"confidence={self.confidence} within {max_attempts} attempts "
                     f"(worst relative half-width: {report.max_relative_half_width():.3g})"
                 )
-            report = self.step()
+            report = self.step(step_size)
+            step_size = min(step_size * 2, self.batch_size)
         return report
 
     # --------------------------------------------------------------- internals
@@ -317,6 +325,7 @@ class OnlineAggregator:
         self._db_versions = self._current_versions()
 
     def _step_join(self, size: int) -> None:
+        """Draw one block and ingest it column-wise (no per-draw objects)."""
         sampler = self._join_sampler
         assert sampler is not None
         total_weight = sampler.weight_function.total_weight
@@ -325,40 +334,39 @@ class OnlineAggregator:
             self.accumulator.observe([], attempts=size, weight=1.0)
             return
         attempts_before = sampler.stats.attempts
-        draws = sampler.sample_batch(size)
-        draws.extend(sampler.pop_buffered())
+        blocks = [sampler.sample_block(size)]
+        blocks.extend(sampler.pop_buffered_blocks())
         attempts = sampler.stats.attempts - attempts_before
-        self.accumulator.observe(
-            [d.value for d in draws], attempts=attempts, weight=total_weight
+        block = SampleBlock.concat(blocks)
+        self.accumulator.ingest_block(
+            block.value_columns(self.queries[0]), attempts=attempts, weight=total_weight
         )
 
     def _step_wander(self, size: int) -> None:
         if self._walker_shards:
             quotas = _split_evenly(size, len(self._walker_shards))
             with ThreadPoolExecutor(max_workers=len(self._walker_shards)) as executor:
-                batches = list(
+                blocks = list(
                     executor.map(
-                        lambda pair: pair[0].walk_batch(pair[1]),
+                        lambda pair: pair[0].walk_block(pair[1]),
                         zip(self._walker_shards, quotas),
                     )
                 )
             # Ingest in shard order; the exactly-rounded accumulator makes
             # the estimates chunk-order-invariant anyway.
-            for quota, results in zip(quotas, batches):
-                self._observe_walks(results, attempts=quota)
+            for block in blocks:
+                self._ingest_walk_block(block)
             return
         walker = self._walker
         assert walker is not None
-        self._observe_walks(walker.walk_batch(size), attempts=size)
+        self._ingest_walk_block(walker.walk_block(size))
 
-    def _observe_walks(self, results, attempts: int) -> None:
-        values = []
-        weights = []
-        for result in results:
-            if result.success and result.probability > 0:
-                values.append(result.value)
-                weights.append(1.0 / result.probability)
-        self.accumulator.observe(values, attempts=attempts, weights=weights)
+    def _ingest_walk_block(self, block: SampleBlock) -> None:
+        self.accumulator.ingest_block(
+            block.value_columns(self.queries[0]),
+            attempts=block.attempts,
+            weights=block.weights,
+        )
 
     def _step_union(self, size: int) -> None:
         # Revisions/backtracking may rewrite history, so rebuild from the
@@ -402,6 +410,23 @@ def _split_evenly(total: int, parts: int) -> List[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
+def planning_budget(rel_error: float, confidence: float = 0.95) -> int:
+    """Expected accepted-sample demand of an ``until(rel_error)`` run.
+
+    The CLT half-width shrinks as ``z·CV/√n``, so hitting a relative target
+    needs roughly ``(z/rel_error)²·CV²`` samples; with a unit
+    coefficient-of-variation prior that is ``(z/rel_error)²`` (~1.5k at the
+    default 5% target, ~38k at 1%).  Feeding this to the planner matters:
+    setup-heavy backends (exact weights) amortize over tight-error runs,
+    while zero-setup backends (wander join) only win small budgets — pricing
+    every run at a fixed 1024 samples mis-ranks them at the extremes.
+    """
+    if rel_error <= 0:
+        raise ValueError("rel_error must be positive")
+    z = z_value(confidence)
+    return max(1024, int((z / rel_error) ** 2))
+
+
 def aggregate(
     queries: Union[JoinQuery, Sequence[JoinQuery]],
     spec: AggregateSpec,
@@ -411,11 +436,17 @@ def aggregate(
     seed: RandomState = None,
     **kwargs: object,
 ) -> AggregateReport:
-    """One-shot convenience wrapper: plan, sample until the target, report."""
+    """One-shot convenience wrapper: plan, sample until the target, report.
+
+    The cost-based planner is primed with the sample demand the error target
+    implies (:func:`planning_budget`) unless the caller fixes
+    ``target_samples`` explicitly.
+    """
+    kwargs.setdefault("target_samples", planning_budget(rel_error, confidence))
     aggregator = OnlineAggregator(
         queries, spec, method=method, seed=seed, confidence=confidence, **kwargs
     )
     return aggregator.until(rel_error)
 
 
-__all__ = ["OnlineAggregator", "aggregate"]
+__all__ = ["OnlineAggregator", "aggregate", "planning_budget"]

@@ -35,6 +35,7 @@ from repro.analysis.cost import (
     BackendCostModel,
     acceptance_ratio,
     estimate_backend_costs,
+    walk_success_ratio,
 )
 from repro.joins.query import JoinQuery
 
@@ -146,9 +147,28 @@ class SamplerPlanner:
             )
 
         query = self.queries[0]
+        # A plan is a pure function of the database snapshot and the budget;
+        # re-planning the same (epoch, target) — e.g. repeated aggregations
+        # between mutations — must not re-pay the statistics passes, so the
+        # decision is memoized on the query keyed by the relation versions
+        # (the same epoch protocol the samplers use).
+        versions = tuple(r.version for r in query.relations.values())
+        cache_key = (versions, self.target_samples, self.cost_model)
+        cached = getattr(query, "_sampler_plan_cache", None)
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
         acceptance = acceptance_ratio(query)
-        costs = estimate_backend_costs(query, self.target_samples, self.cost_model)
-        eligible = {name: costs[name] for name in supported}
+        walk_success = (
+            walk_success_ratio(query) if "wander-join" in supported else None
+        )
+        eligible = estimate_backend_costs(
+            query,
+            self.target_samples,
+            self.cost_model,
+            acceptance=acceptance,
+            walk_success=walk_success,
+            backends=supported,
+        )
         backend = min(eligible, key=lambda name: eligible[name])
         rationale = [
             f"acceptance ratio ~{acceptance:.3g} "
@@ -163,11 +183,20 @@ class SamplerPlanner:
                 else "predicates are not pushed down"
             )
             rationale.append(f"wander-join excluded: {reason}")
-        per_attempt_acceptance = acceptance if backend == "olken" else 1.0
+        if backend == "olken":
+            per_attempt_acceptance = acceptance
+        elif backend == "wander-join":
+            # Walks fail on dangling rows, not on the accept/reject test.
+            per_attempt_acceptance = walk_success if walk_success is not None else 1.0
+            rationale.append(
+                f"walk success ~{per_attempt_acceptance:.3g} (dangling-row model)"
+            )
+        else:
+            per_attempt_acceptance = 1.0
         if query.is_cyclic:
             model = self.cost_model or BackendCostModel()
             per_attempt_acceptance *= model.cyclic_survival_prior
-        return SamplerPlan(
+        plan = SamplerPlan(
             backend=backend,
             weights=BACKEND_WEIGHTS.get(backend),
             batch_size=_clamp_batch(self.target_samples / max(per_attempt_acceptance, 1e-9)),
@@ -176,6 +205,8 @@ class SamplerPlanner:
             target_samples=self.target_samples,
             rationale=tuple(rationale),
         )
+        query._sampler_plan_cache = (cache_key, plan)
+        return plan
 
 
 def choose_weights(query: JoinQuery, target_samples: int = 1024) -> str:
@@ -185,7 +216,9 @@ def choose_weights(query: JoinQuery, target_samples: int = 1024) -> str:
     wander-join / online-union level decisions live in :class:`SamplerPlanner`
     and the AQP aggregator.
     """
-    costs = estimate_backend_costs(query, target_samples)
+    costs = estimate_backend_costs(
+        query, target_samples, backends=("exact-weight", "olken")
+    )
     return "ew" if costs["exact-weight"] <= costs["olken"] else "eo"
 
 

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.errors import mean_ratio_error
 from repro.aqp import AggregateSpec, OnlineAggregator
+from repro.aqp.online import planning_budget
 from repro.core.online_sampler import OnlineUnionSampler
 from repro.core.union_sampler import (
     BernoulliUnionSampler,
@@ -313,6 +314,9 @@ def command_aggregate(args: argparse.Namespace) -> int:
             confidence=args.confidence,
             ci_method=args.ci,
             parallelism=args.workers,
+            # Prime the cost-based planner with the sample demand the error
+            # target implies (setup-heavy backends amortize over tight runs).
+            target_samples=planning_budget(args.rel_error, args.confidence),
         )
     except ValueError as error:
         # e.g. an attribute missing from the output schema, a backend that

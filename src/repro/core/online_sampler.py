@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import math
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.result import SampleResult, SamplingStats, UnionSample
+from repro.core.union_sampler import drain_value_queue
 from repro.estimation.histogram import HistogramUnionEstimator
 from repro.estimation.parameters import UnionParameters
 from repro.estimation.random_walk import CollectedSample, RandomWalkUnionEstimator
@@ -114,6 +116,10 @@ class OnlineUnionSampler:
             }
             self.membership = UnionMembershipIndex(self.queries)
             self._membership_cache: Dict[Tuple[str, Tuple], bool] = {}
+            #: per-join uniform sample values, refilled block-wise
+            self._value_queues: Dict[str, Deque[Tuple]] = {
+                n: deque() for n in self.names
+            }
 
         self._probabilities = self.parameters.selection_probabilities(use_cover=True)
         self._selector: Optional[BatchedCategorical] = None
@@ -158,6 +164,8 @@ class OnlineUnionSampler:
             self._value_slots = {}
             self._live_count = 0
             self._membership_cache.clear()
+            for queue in self._value_queues.values():
+                queue.clear()
             self.confidence_level = 0.0
         return True
 
@@ -232,10 +240,12 @@ class OnlineUnionSampler:
                 self.stats.reused_rejected += 1
 
         if value is None:
-            # Lines 9-10: fall back to a regular uniform draw from the join.
+            # Lines 9-10: fall back to a regular uniform draw from the join,
+            # served value-only through the block pipeline (no draw boxing).
             self.stats.record_draw(join_name)
-            draw = self.join_samplers[join_name].sample()
-            value = draw.value
+            value = drain_value_queue(
+                self.join_samplers[join_name], self._value_queues[join_name]
+            )
             self._record(join_name, value, join_size)
 
         # Lines 11-17: the orig_join record with revision, as in Algorithm 1.

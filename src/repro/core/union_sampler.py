@@ -26,15 +26,39 @@ Three set-union selection/deduplication policies are provided:
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.result import SampleResult, SamplingStats, UnionSample
 from repro.estimation.base import UnionSizeEstimator
 from repro.estimation.parameters import UnionParameters
 from repro.joins.membership import UnionMembershipIndex
 from repro.joins.query import JoinQuery, check_union_compatible
+from repro.sampling.blocks import SampleBlock
 from repro.sampling.join_sampler import JoinSampler
 from repro.utils.rng import BatchedCategorical, RandomState, ensure_rng, spawn_rngs
+
+
+def drain_value_queue(
+    sampler: JoinSampler, queue: Deque[Tuple]
+) -> Tuple:
+    """One uniform sample *value* from a join, via the block pipeline.
+
+    Union iterations only consume the output value tuple, so boxing a full
+    ``SampleDraw`` (assignment dict included) per draw is pure overhead.
+    The queue refills from :meth:`JoinSampler.sample_block` — including the
+    sampler's parked surplus blocks — and one refill pays a single
+    columnar projection for the whole batch.
+    """
+    if queue and sampler.stale:
+        # A mutation epoch landed since the queue was filled: the parked
+        # values describe the previous snapshot and must not be served.
+        queue.clear()
+    if not queue:
+        blocks = [sampler.sample_block(1)]
+        blocks.extend(sampler.pop_buffered_blocks())
+        queue.extend(SampleBlock.concat(blocks).values(sampler.query))
+    return queue.popleft()
 
 
 class UnionSamplerBase:
@@ -75,6 +99,8 @@ class UnionSamplerBase:
         #: batched join-selection state (rebuilt when the distribution changes)
         self._selector: Optional[BatchedCategorical] = None
         self._selector_source: Optional[Dict[str, float]] = None
+        #: per-join uniform sample values, refilled block-wise (zero-object)
+        self._value_queues: Dict[str, Deque[Tuple]] = {n: deque() for n in self.names}
 
     # ------------------------------------------------------------------ hooks
     def _iterate(self) -> List[UnionSample]:
@@ -127,9 +153,11 @@ class UnionSamplerBase:
             self._selector_source = probabilities
         return self._selector.draw()
 
-    def _draw(self, join_name: str):
+    def _draw_value(self, join_name: str) -> Tuple:
         self.stats.record_draw(join_name)
-        return self.join_samplers[join_name].sample()
+        return drain_value_queue(
+            self.join_samplers[join_name], self._value_queues[join_name]
+        )
 
 
 class DisjointUnionSampler(UnionSamplerBase):
@@ -147,8 +175,8 @@ class DisjointUnionSampler(UnionSamplerBase):
 
     def _iterate(self) -> List[UnionSample]:
         join_name = self._select_join(self._probabilities)
-        draw = self._draw(join_name)
-        return [UnionSample(draw.value, join_name, self.stats.iterations)]
+        value = self._draw_value(join_name)
+        return [UnionSample(value, join_name, self.stats.iterations)]
 
 
 class BernoulliUnionSampler(UnionSamplerBase):
@@ -175,11 +203,11 @@ class BernoulliUnionSampler(UnionSamplerBase):
             if selections[position] >= probability:
                 self.stats.rejected_not_selected += 1
                 continue
-            draw = self._draw(query.name)
-            if self._owned_by_earlier(position, draw.value):
+            value = self._draw_value(query.name)
+            if self._owned_by_earlier(position, value):
                 self.stats.rejected_duplicate += 1
                 continue
-            accepted.append(UnionSample(draw.value, query.name, self.stats.iterations))
+            accepted.append(UnionSample(value, query.name, self.stats.iterations))
         return accepted
 
     def _owned_by_earlier(self, position: int, value: Tuple) -> bool:
@@ -245,8 +273,7 @@ class SetUnionSampler(UnionSamplerBase):
     def _iterate(self) -> List[UnionSample]:
         join_name = self._select_join(self._probabilities)
         position = self._positions[join_name]
-        draw = self._draw(join_name)
-        value = draw.value
+        value = self._draw_value(join_name)
 
         if self.mode == "strict":
             if self._owned_by_earlier(position, value):

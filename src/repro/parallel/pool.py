@@ -168,7 +168,7 @@ class ParallelSamplerPool:
         shard_count = int(shards) if shards is not None else DEFAULT_SHARDS
         if shard_count < 1:
             raise ValueError(f"shards must be >= 1, got {shard_count}")
-        backend = self._resolve_backend(queries, method, spec)
+        backend = self._resolve_backend(queries, method, spec, count)
         if backend == "online-union" and spec is not None:
             _reject_degenerate_union_count(spec)
         seeds = shard_seed_sequences(seed, shard_count)
@@ -215,9 +215,18 @@ class ParallelSamplerPool:
         )
         results = self._run_with_epoch_guard(tasks)
         report = self._base_report(tasks, results)
+        query = tasks[0].queries[0]
         for result in results:
-            report.values.extend(result.values)
-            report.sources.extend(result.sources)
+            if result.block is not None:
+                # Join-backend shards ship struct-of-arrays blocks (cheap
+                # numpy pickling); values are projected once, here, against
+                # the coordinator's relations — which the epoch guard just
+                # verified are the snapshot the shard sampled.
+                report.values.extend(result.block.values(query))
+                report.sources.extend([query.name] * len(result.block))
+            else:
+                report.values.extend(result.values)
+                report.sources.extend(result.sources)
         return report
 
     def aggregate(
@@ -267,6 +276,7 @@ class ParallelSamplerPool:
         queries: Tuple[JoinQuery, ...],
         method: str,
         spec: Optional[AggregateSpec],
+        count: int = 1024,
     ) -> str:
         supported = supported_backends(list(queries) if len(queries) > 1 else queries[0])
         if method == "auto":
@@ -274,7 +284,10 @@ class ParallelSamplerPool:
                 return "online-union"
             from repro.aqp.planner import SamplerPlanner
 
-            backend = SamplerPlanner(queries[0]).plan().backend
+            # Price the plan at the job's actual fleet-wide sample budget:
+            # setup-heavy backends amortize over large jobs (every shard pays
+            # its own setup, but the ranking scales the same way).
+            backend = SamplerPlanner(queries[0], target_samples=max(count, 1)).plan().backend
             if spec is None and backend == "wander-join":
                 # Wander walks are HT-weighted, not uniform: never hand them
                 # out for plain sampling.

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateSpec
 from repro.joins.query import JoinQuery
+from repro.sampling.blocks import SampleBlock
 
 #: Backends a shard can run.  ``wander-join`` is aggregate-only (its walks
 #: carry Horvitz–Thompson weights, not uniform samples).
@@ -87,15 +88,22 @@ class ShardTask:
 class ShardResult:
     """What one shard hands back to the coordinator (picklable).
 
-    Exactly one of ``accumulator`` (aggregate mode) or ``values`` (sampling
-    mode) is populated.  ``attempts``/``accepted`` mirror the sampler's
-    attempt-level accounting so the coordinator can report fleet totals.
+    Exactly one of ``accumulator`` (aggregate mode), ``block`` (join-backend
+    sampling mode), or ``values`` (union sampling mode) is populated.
+    Join-backend sampling shards ship a struct-of-arrays
+    :class:`~repro.sampling.blocks.SampleBlock` — a handful of small integer
+    arrays that pickle for cents — instead of boxed draw lists; the
+    coordinator projects values from the block against its own relations
+    (validated unchanged by the epoch guard).  ``attempts``/``accepted``
+    mirror the sampler's attempt-level accounting so the coordinator can
+    report fleet totals.
     """
 
     shard_id: int
     attempts: int = 0
     accepted: int = 0
     accumulator: Optional[AggregateAccumulator] = None
+    block: Optional[SampleBlock] = None
     values: List[Tuple] = field(default_factory=list)
     sources: List[str] = field(default_factory=list)
     #: per-relation version counters observed when the shard started, used by
@@ -136,7 +144,7 @@ def run_shard(task: ShardTask) -> ShardResult:
 
 
 def _run_join_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:
-    """Accept/reject JoinSampler shard (exact-weight / olken)."""
+    """Accept/reject JoinSampler shard (exact-weight / olken), block-native."""
     from repro.sampling.join_sampler import JoinSampler
 
     query = task.queries[0]
@@ -149,10 +157,11 @@ def _run_join_shard(task: ShardTask, rng: np.random.Generator, result: ShardResu
             # like OnlineAggregator._step_join does sequentially.
             accumulator.observe([], attempts=task.count, weight=1.0)
         else:
-            draws = sampler.sample_batch(task.count, max_attempts=task.max_attempts)
-            draws.extend(sampler.pop_buffered())
-            accumulator.observe(
-                [d.value for d in draws],
+            blocks = [sampler.sample_block(task.count, max_attempts=task.max_attempts)]
+            blocks.extend(sampler.pop_buffered_blocks())
+            block = SampleBlock.concat(blocks)
+            accumulator.ingest_block(
+                block.value_columns(query),
                 attempts=sampler.stats.attempts,
                 weight=total_weight,
             )
@@ -163,9 +172,7 @@ def _run_join_shard(task: ShardTask, rng: np.random.Generator, result: ShardResu
         result.attempts = accumulator.attempts
         result.accepted = accumulator.accepted
     else:
-        draws = sampler.sample_batch(task.count, max_attempts=task.max_attempts)
-        result.values = [d.value for d in draws]
-        result.sources = [query.name] * len(draws)
+        result.block = sampler.sample_block(task.count, max_attempts=task.max_attempts)
         result.attempts = sampler.stats.attempts
         result.accepted = sampler.stats.accepted
 
@@ -176,18 +183,14 @@ def _run_wander_shard(task: ShardTask, rng: np.random.Generator, result: ShardRe
 
     query = task.queries[0]
     walker = WanderJoin(query, seed=rng)
-    walks = walker.walk_batch(task.count)
-    values = []
-    weights = []
-    for walk in walks:
-        if walk.success and walk.probability > 0:
-            values.append(walk.value)
-            weights.append(1.0 / walk.probability)
+    block = walker.walk_block(task.count)
     accumulator = AggregateAccumulator(task.spec, query.output_schema)
-    accumulator.observe(values, attempts=task.count, weights=weights)
+    accumulator.ingest_block(
+        block.value_columns(query), attempts=block.attempts, weights=block.weights
+    )
     result.accumulator = accumulator
-    result.attempts = task.count
-    result.accepted = len(values)
+    result.attempts = block.attempts
+    result.accepted = len(block)
 
 
 def _run_union_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:

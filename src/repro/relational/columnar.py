@@ -21,7 +21,11 @@ def as_column_array(values: Sequence[object]) -> np.ndarray:
     Homogeneous numeric/string columns become typed arrays (fast vectorized
     comparisons); anything NumPy would reshape, reject, or silently coerce
     (tuples, mixed types — ``np.asarray([1, "x"])`` stringifies the int) is
-    stored as an object array so row identity is preserved.
+    stored as an object array so row identity is preserved.  Integer columns
+    are stored in the smallest safe signed dtype for their value range
+    (NumPy's int64 default quadruples resident bytes for typical key
+    columns); widening on concatenation is automatic, and replacements that
+    no longer fit trigger a rebuild (see :meth:`ColumnStore._patched`).
     """
     if len({type(v) for v in values}) > 1:
         return _object_array(values)
@@ -31,6 +35,22 @@ def as_column_array(values: Sequence[object]) -> np.ndarray:
         array = _object_array(values)
     if array.ndim != 1 or array.dtype.kind in ("O", "V"):
         array = _object_array(values)
+    return shrink_integer_array(array)
+
+
+def shrink_integer_array(array: np.ndarray) -> np.ndarray:
+    """Downcast a signed integer array to the smallest dtype holding its range.
+
+    int8 is deliberately skipped (the savings on tiny columns are noise);
+    non-integer and empty arrays pass through unchanged.
+    """
+    if array.dtype.kind != "i" or array.size == 0 or array.dtype.itemsize <= 2:
+        return array
+    lo, hi = int(array.min()), int(array.max())
+    for candidate in (np.int16, np.int32):
+        info = np.iinfo(candidate)
+        if info.min <= lo and hi <= info.max:
+            return array.astype(candidate)
     return array
 
 
@@ -119,6 +139,19 @@ class ColumnStore:
         self._arrays.clear()
         self._key_arrays.clear()
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the materialized column/key arrays.
+
+        Object arrays report pointer storage only (the boxed values live on
+        the heap); typed arrays report their full buffer — the number the
+        dtype audit shrinks.
+        """
+        return int(
+            sum(a.nbytes for a in self._arrays.values())
+            + sum(a.nbytes for a in self._key_arrays.values())
+        )
+
     # ------------------------------------------------------------- maintenance
     def apply_delta(self, delta, inserted_rows: Sequence[Tuple]) -> None:
         """Patch every cached array in place of a full rebuild.
@@ -193,5 +226,6 @@ __all__ = [
     "ColumnStore",
     "as_column_array",
     "concat_column_arrays",
+    "shrink_integer_array",
     "tuple_key_array",
 ]

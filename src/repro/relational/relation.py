@@ -487,6 +487,19 @@ class Relation:
         """
         return self.columns.key_array(attributes)
 
+    def cache_nbytes(self) -> Dict[str, int]:
+        """Resident bytes of the array-backed caches (dtype-audit accounting).
+
+        Covers the columnar store and the CSR indexes — the structures the
+        batched engine gathers through, and the ones the smallest-safe-dtype
+        selection shrinks.  Hash indexes and row tuples are Python objects
+        and are not meaningfully measured by array bytes.
+        """
+        return {
+            "columns": self._columns.nbytes if self._columns is not None else 0,
+            "csr_indexes": sum(csr.nbytes for csr in self._sorted_indexes.values()),
+        }
+
     def statistics_on_columns(self, attributes: Sequence[str]) -> ColumnStatistics:
         """Column statistics over the composite key formed by ``attributes``."""
         attrs = tuple(attributes)

@@ -1,5 +1,7 @@
 """Single-join sampling substrate: weights, accept/reject sampling, wander join."""
 
+from repro.sampling.alias import AliasTable, SegmentedAliasTable, uniform_segment_pick
+from repro.sampling.blocks import SampleBlock
 from repro.sampling.join_sampler import JoinSampler, JoinSamplerStats, SampleDraw
 from repro.sampling.olken import node_max_degree, olken_refined_bound, olken_upper_bound
 from repro.sampling.wander_join import (
@@ -17,6 +19,10 @@ from repro.sampling.weights import (
 )
 
 __all__ = [
+    "AliasTable",
+    "SegmentedAliasTable",
+    "uniform_segment_pick",
+    "SampleBlock",
     "JoinSampler",
     "JoinSamplerStats",
     "SampleDraw",

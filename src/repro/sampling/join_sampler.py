@@ -19,25 +19,34 @@ Two execution paths produce identically-distributed samples:
 
 * the scalar path (:meth:`JoinSampler.try_sample`) performs one root-to-leaf
   walk at a time — the reference implementation of the paper's algorithm;
-* the batched path (:meth:`JoinSampler.sample_batch`) runs whole batches of
-  walks level-by-level over the columnar/CSR storage layer: one vectorized
-  inverse-CDF draw over the cumulative root weights, then per level a key
-  gather, a CSR slot lookup, a vectorized accept/reject test and a vectorized
-  weighted child choice.  :meth:`sample` and :meth:`sample_many` refill from
-  an internal buffer fed by the batched path.
+* the columnar path (:meth:`JoinSampler.sample_block`) runs whole batches of
+  walks level-by-level over the columnar/CSR storage layer.  The root row and
+  every per-level child choice are O(1) Walker/Vose alias-table draws (two
+  array lookups per draw — see :mod:`repro.sampling.alias`) instead of
+  O(log n) ``searchsorted`` probes, and accepted walks come back as one
+  struct-of-arrays :class:`~repro.sampling.blocks.SampleBlock` — no per-draw
+  Python objects anywhere on the sampler → aggregator → shard-merge path.
+
+:meth:`sample_batch` / :meth:`sample_many` / :meth:`sample` are thin views
+that box blocks into :class:`SampleDraw` lists for the scalar-era API; they
+consume the exact same draw stream as :meth:`sample_block` (boxing happens
+after the fact), so block and batch output are bit-identical for a fixed
+seed.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
 from repro.joins.query import JoinQuery
+from repro.sampling.alias import AliasTable, SegmentedAliasTable
+from repro.sampling.blocks import SampleBlock
 from repro.sampling.weights import (
     ExactWeightFunction,
     WeightFunction,
@@ -93,21 +102,18 @@ class _LevelPlan:
 
     * ``parent_keys[p]`` is the join-key value of parent row ``p``;
     * ``csr`` groups the node's row positions by key (CSR layout);
-    * ``csr_weights`` are the node rows' weights in CSR order,
-      ``cum_weights`` their running sum, ``seg_sums``/``seg_prefix`` the
-      realized weight sum of each key segment and the cumulative weight in
-      front of it — together they turn "pick a joinable row proportionally to
-      its weight" into one ``searchsorted`` per batch.
+    * ``alias`` holds one Walker/Vose alias table per key segment (built
+      lazily, per segment, on first draw — see
+      :class:`~repro.sampling.alias.SegmentedAliasTable`), whose
+      ``segment_totals`` double as the realized weight sums driving the
+      accept/reject test.
     """
 
     node: JoinTreeNode
     parent: JoinTreeNode
     parent_keys: np.ndarray
     csr: object  # SortedIndex
-    csr_weights: np.ndarray
-    cum_weights: np.ndarray
-    seg_sums: np.ndarray
-    seg_prefix: np.ndarray
+    alias: SegmentedAliasTable
     bound: Optional[float]
 
 
@@ -132,7 +138,7 @@ class JoinSampler:
     max_batch_size:
         Upper bound on the number of simultaneous walks of one batched pass.
     parallelism:
-        When > 1, :meth:`sample_batch` / :meth:`sample_many` fan the request
+        When > 1, :meth:`sample_block` / :meth:`sample_batch` fan the request
         out across that many internal shard samplers (created lazily via
         :meth:`split`, seeds derived from this sampler's stream) running on a
         thread pool, and concatenate the results in shard order — so the
@@ -169,11 +175,14 @@ class JoinSampler:
         #: pre-order node list (root first) for the descent
         self._order: List[Tuple[JoinTreeNode, Optional[JoinTreeNode]]] = []
         self._collect(self.tree.root, None)
-        self._relation_order = [node.relation for node, _ in self._order]
+        self._relation_order = tuple(node.relation for node, _ in self._order)
         self._relations = [self.query.relation(name) for name in self._relation_order]
         self._db_versions = tuple(r.version for r in self._relations)
         self._plans: Optional[List[_LevelPlan]] = None
-        self._buffer: Deque[SampleDraw] = deque()
+        #: surplus accepted work in struct-of-arrays form (the native format)
+        self._block_buffer: List[SampleBlock] = []
+        #: boxed surplus fed to the scalar ``sample()`` API
+        self._draw_buffer: Deque[SampleDraw] = deque()
         self._min_batch_size = 32
         self._max_batch_size = max(int(max_batch_size), 1)
         self.parallelism = max(int(parallelism), 1)
@@ -183,9 +192,12 @@ class JoinSampler:
     def _load_root_weights(self) -> None:
         self._root_weights = np.asarray(self.weight_function.root_weights(), dtype=float)
         self._root_total = float(self._root_weights.sum())
-        self._root_cumulative = (
-            np.cumsum(self._root_weights) if self._root_total > 0 else None
+        self._root_alias = (
+            AliasTable(self._root_weights) if self._root_total > 0 else None
         )
+        # Cumulative weights serve only the scalar reference path; built
+        # lazily so the hot block path never pays for them.
+        self._root_cumulative: Optional[np.ndarray] = None
 
     def _collect(self, node: JoinTreeNode, parent: Optional[JoinTreeNode]) -> None:
         self._order.append((node, parent))
@@ -205,17 +217,29 @@ class JoinSampler:
         :attr:`Relation.version`; each draw entry point compares those
         counters (a handful of int comparisons) and, on staleness, refreshes
         the weight function (which patches only the affected segments),
-        reloads the root CDF, drops the level plans (rebuilt lazily from the
-        delta-maintained CSR indexes), and — critically — discards buffered
-        draws, which describe the *previous* database state.
+        rebuilds the root alias table, re-syncs the level plans **per edge**
+        (an edge whose own relations mutated is rebuilt from the
+        delta-maintained CSR indexes; an untouched edge keeps its CSR, key
+        arrays, and alias tables, invalidating only the segments whose child
+        weights actually moved — rebuilt lazily on next draw), and —
+        critically — discards buffered draws, which describe the *previous*
+        database state.
         """
         versions = tuple(r.version for r in self._relations)
         if versions == self._db_versions:
             return False
+        stale_names = {
+            name
+            for name, relation, version in zip(
+                self._relation_order, self._relations, self._db_versions
+            )
+            if relation.version != version
+        }
         self.weight_function.refresh()
         self._load_root_weights()
-        self._plans = None
-        self._buffer.clear()
+        self._refresh_plans(stale_names)
+        self._block_buffer.clear()
+        self._draw_buffer.clear()
         if self._shard_samplers:
             # Shard buffers hold previous-epoch draws too; re-sync them now so
             # pop_buffered() can never hand out stale shard draws.
@@ -240,7 +264,7 @@ class JoinSampler:
     def try_sample(self) -> Optional[SampleDraw]:
         """One root-to-leaf attempt; ``None`` when the walk is rejected.
 
-        This is the scalar reference path; :meth:`sample_batch` runs the same
+        This is the scalar reference path; :meth:`sample_block` runs the same
         accept/reject process vectorized over whole batches of walks.
         """
         self.refresh()
@@ -299,19 +323,48 @@ class JoinSampler:
         )
 
     def sample(self, max_attempts: int = 1_000_000) -> SampleDraw:
-        """One accepted sample (refills an internal buffer via the batch path)."""
+        """One accepted sample (refills an internal buffer via the block path)."""
         self.refresh()  # a stale buffer must not serve previous-epoch draws
-        if self._buffer:
-            return self._buffer.popleft()
-        draws = self.sample_batch(1, max_attempts=max_attempts)
-        return draws[0]
+        if self._draw_buffer:
+            return self._draw_buffer.popleft()
+        block = self.sample_block(1, max_attempts=max_attempts)
+        # Box the surplus wholesale now so subsequent calls are O(1) pops
+        # (one boxing pass per refill, exactly like the old deque refill).
+        if self._block_buffer:
+            surplus, self._block_buffer = self._block_buffer, []
+            for parked in surplus:
+                self._draw_buffer.extend(parked.to_draws(self.query))
+        return block.to_draws(self.query)[0]
 
     def sample_many(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
         """``count`` independent accepted samples."""
         return self.sample_batch(count, max_attempts=max_attempts)
 
     def sample_batch(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
-        """``count`` accepted samples drawn via the batched descent.
+        """``count`` accepted samples as boxed :class:`SampleDraw` objects.
+
+        A thin view over :meth:`sample_block`: the block is drawn first
+        (consuming the identical random stream) and boxed afterwards, so for
+        a fixed seed ``sample_batch(n)`` and ``sample_block(n)`` describe the
+        same samples.
+        """
+        self.refresh()
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be positive")
+        if count == 0:
+            return []
+        draws: List[SampleDraw] = []
+        while self._draw_buffer and len(draws) < count:
+            draws.append(self._draw_buffer.popleft())
+        if len(draws) < count:
+            block = self.sample_block(count - len(draws), max_attempts=max_attempts)
+            draws.extend(block.to_draws(self.query))
+        return draws
+
+    def sample_block(self, count: int, max_attempts: int = 1_000_000) -> SampleBlock:
+        """``count`` accepted samples in struct-of-arrays form (zero-object).
 
         Rejected walks are retried in adaptively-sized batches; a stretch of
         ``max_attempts`` consecutive rejected walks raises ``RuntimeError``
@@ -319,42 +372,68 @@ class JoinSampler:
         so far are parked in the internal buffer — never dropped — so a
         retry (or a later call) picks them up.  Surplus accepted walks are
         likewise kept in the buffer for subsequent calls.  ``count=0``
-        returns an empty list without consuming random state or touching the
-        buffer.
+        returns an empty block without consuming random state or touching
+        the buffer.
+
+        The returned block's ``attempts`` counts the draw attempts consumed
+        by *this call* (buffered samples were accounted when drawn, so they
+        add none), and its ``weight`` is the weight function's total weight.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
         if max_attempts < 1:
             raise ValueError("max_attempts must be positive")
         self.refresh()
+        total_weight = self.weight_function.total_weight
         if count == 0:
-            return []
+            return SampleBlock.empty(self._relation_order, weight=total_weight)
         if self.parallelism > 1:
-            return self._sample_batch_parallel(count, max_attempts)
-        draws: List[SampleDraw] = []
-        while self._buffer and len(draws) < count:
-            draws.append(self._buffer.popleft())
+            return self._sample_block_parallel(count, max_attempts)
+        parts: List[SampleBlock] = []
+        have = 0
+        while self._block_buffer and have < count:
+            parked = self._block_buffer.pop(0)
+            if have + len(parked) > count:
+                head, tail = parked.split(count - have)
+                self._block_buffer.insert(0, tail)
+                parked = head
+            parts.append(parked)
+            have += len(parked)
+        attempts = 0
         attempts_since_accept = 0
-        while len(draws) < count:
-            need = count - len(draws)
+        while have < count:
+            need = count - have
             size = min(self._next_batch_size(need), max(1, max_attempts - attempts_since_accept))
-            accepted = self._attempt_batch(size)
-            if accepted:
+            accepted = self._attempt_block(size)
+            attempts += size
+            if accepted is not None and len(accepted):
                 attempts_since_accept = 0
-                draws.extend(accepted)
+                parts.append(accepted)
+                have += len(accepted)
             else:
                 attempts_since_accept += size
                 if attempts_since_accept >= max_attempts:
                     # Park the accepted work instead of losing it: the buffer
                     # stays consistent, so a later call (e.g. after the
                     # caller raises its budget) continues cleanly.
-                    self._buffer.extend(draws)
+                    self._park(parts)
                     raise RuntimeError(
                         f"JoinSampler on {self.query.name!r} failed to accept a sample "
                         f"after {max_attempts} attempts (bound too loose or empty join)"
                     )
-        self._buffer.extend(draws[count:])
-        return draws[:count]
+        block = SampleBlock.concat(parts) if parts else SampleBlock.empty(self._relation_order)
+        block.weight = total_weight
+        block.attempts = attempts
+        if len(block) > count:
+            block, tail = block.split(count)
+            self._block_buffer.append(tail)
+        return block
+
+    def _park(self, parts: List[SampleBlock]) -> None:
+        for part in parts:
+            part.attempts = 0  # already accounted in self.stats
+            if len(part):
+                self._block_buffer.append(part)
 
     def pop_buffered(self) -> List[SampleDraw]:
         """Drain and return the buffered surplus of the last batched pass.
@@ -364,11 +443,21 @@ class JoinSampler:
         :attr:`stats`) stays aligned with the draws it ingested.  With
         ``parallelism > 1`` the shard samplers' buffers are drained too.
         """
-        drained = list(self._buffer)
-        self._buffer.clear()
+        drained = list(self._draw_buffer)
+        self._draw_buffer.clear()
+        for block in self.pop_buffered_blocks():
+            drained.extend(block.to_draws(self.query))
+        return drained
+
+    def pop_buffered_blocks(self) -> List[SampleBlock]:
+        """Drain the struct-of-arrays surplus (the zero-object twin of
+        :meth:`pop_buffered`; boxed draws parked by ``sample()`` are not
+        convertible back and stay for :meth:`pop_buffered`)."""
+        drained = self._block_buffer
+        self._block_buffer = []
         if self._shard_samplers:
             for shard in self._shard_samplers:
-                drained.extend(shard.pop_buffered())
+                drained.extend(shard.pop_buffered_blocks())
         return drained
 
     def split(self, count: int, seed: RandomState = None) -> List["JoinSampler"]:
@@ -398,16 +487,25 @@ class JoinSampler:
             for stream in streams
         ]
 
-    def _sample_batch_parallel(self, count: int, max_attempts: int) -> List[SampleDraw]:
+    def _sample_block_parallel(self, count: int, max_attempts: int) -> SampleBlock:
         """Fan ``count`` across the shard samplers; concatenate in shard order."""
-        # Serve parked draws first (same contract as the sequential path: the
+        # Serve parked blocks first (same contract as the sequential path: the
         # buffer may hold accepted work preserved by an earlier failure).
-        draws: List[SampleDraw] = []
-        while self._buffer and len(draws) < count:
-            draws.append(self._buffer.popleft())
-        remaining = count - len(draws)
+        parts: List[SampleBlock] = []
+        have = 0
+        while self._block_buffer and have < count:
+            parked = self._block_buffer.pop(0)
+            if have + len(parked) > count:
+                head, tail = parked.split(count - have)
+                self._block_buffer.insert(0, tail)
+                parked = head
+            parts.append(parked)
+            have += len(parked)
+        remaining = count - have
         if remaining == 0:
-            return draws
+            block = SampleBlock.concat(parts)
+            block.weight = self.weight_function.total_weight
+            return block
         if self._shard_samplers is None:
             self._shard_samplers = self.split(self.parallelism)
         shards = self._shard_samplers
@@ -416,7 +514,7 @@ class JoinSampler:
         before = [_stats_snapshot(s.stats) for s in shards]
         with ThreadPoolExecutor(max_workers=len(shards)) as executor:
             futures = [
-                executor.submit(shard.sample_batch, quota, max_attempts) if quota else None
+                executor.submit(shard.sample_block, quota, max_attempts) if quota else None
                 for shard, quota in zip(shards, quotas)
             ]
             error: Optional[BaseException] = None
@@ -424,7 +522,7 @@ class JoinSampler:
                 if future is None:
                     continue
                 try:
-                    draws.extend(future.result())
+                    parts.append(future.result())
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     error = error or exc
         for shard, snapshot in zip(shards, before):
@@ -432,11 +530,13 @@ class JoinSampler:
         if error is not None:
             # Preserve whatever the healthy shards produced (mirrors the
             # sequential exhaustion path) before surfacing the failure.
-            self._buffer.extend(draws)
+            self._park(parts)
             raise error
-        return draws
+        block = SampleBlock.concat(parts) if parts else SampleBlock.empty(self._relation_order)
+        block.weight = self.weight_function.total_weight
+        return block
 
-    # ------------------------------------------------------------- batch path
+    # ------------------------------------------------------------- block path
     def _next_batch_size(self, need: int) -> int:
         """Batch size that should yield ``need`` accepted samples in one pass."""
         if self.stats.attempts > 0 and self.stats.accepted > 0:
@@ -447,57 +547,72 @@ class JoinSampler:
         return max(self._min_batch_size, min(estimate, self._max_batch_size))
 
     def _level_plans(self) -> List[_LevelPlan]:
-        """Per-node CSR/weight arrays, built once on first batched call."""
+        """Per-node CSR/alias structures, built once on first batched call."""
         if self._plans is None:
-            plans: List[_LevelPlan] = []
-            for node, parent in self._order:
-                if parent is None:
-                    continue
-                parent_rel = self.query.relation(parent.relation)
-                child_rel = self.query.relation(node.relation)
-                csr = child_rel.sorted_index_on_columns(node.child_attributes)
-                csr_weights = np.asarray(
-                    self.weight_function.weights_for(node, csr.row_positions),
-                    dtype=float,
-                )
-                cum_weights = np.cumsum(csr_weights)
-                starts = csr.offsets[:-1]
-                # Zero-degree slots (deletions pending compaction) sum to 0
-                # and are rejected by the realized-weight filter during the
-                # descent; reduceat runs over non-empty starts only, since it
-                # misreads zero-length segments.
-                seg_sums = np.zeros(csr.n_keys, dtype=float)
-                seg_prefix = np.zeros(csr.n_keys, dtype=float)
-                if csr.n_keys and csr_weights.size:
-                    nonempty = csr.offsets[1:] > starts
-                    if bool(nonempty.any()):
-                        ne_starts = starts[nonempty]
-                        seg_sums[nonempty] = np.add.reduceat(csr_weights, ne_starts)
-                        seg_prefix[nonempty] = (
-                            cum_weights[ne_starts] - csr_weights[ne_starts]
-                        )
-                plans.append(
-                    _LevelPlan(
-                        node=node,
-                        parent=parent,
-                        parent_keys=parent_rel.join_key_array(node.parent_attributes),
-                        csr=csr,
-                        csr_weights=csr_weights,
-                        cum_weights=cum_weights,
-                        seg_sums=seg_sums,
-                        seg_prefix=seg_prefix,
-                        bound=self.weight_function.acceptance_bound(node),
-                    )
-                )
-            self._plans = plans
+            self._plans = [
+                self._build_plan(node, parent)
+                for node, parent in self._order
+                if parent is not None
+            ]
         return self._plans
 
-    def _attempt_batch(self, size: int) -> List[SampleDraw]:
+    def _build_plan(self, node: JoinTreeNode, parent: JoinTreeNode) -> _LevelPlan:
+        parent_rel = self.query.relation(parent.relation)
+        child_rel = self.query.relation(node.relation)
+        csr = child_rel.sorted_index_on_columns(node.child_attributes)
+        csr_weights = np.asarray(
+            self.weight_function.weights_for(node, csr.row_positions),
+            dtype=float,
+        )
+        return _LevelPlan(
+            node=node,
+            parent=parent,
+            parent_keys=parent_rel.join_key_array(node.parent_attributes),
+            csr=csr,
+            alias=SegmentedAliasTable(csr_weights, csr.offsets),
+            bound=self.weight_function.acceptance_bound(node),
+        )
+
+    def _refresh_plans(self, stale_names: set) -> None:
+        """Re-sync built level plans with a new mutation epoch, per edge.
+
+        An edge whose own relations mutated gets a fresh plan (its CSR layout
+        and/or parent key arrays changed shape).  An edge whose endpoints are
+        untouched keeps everything by reference — but its child weights
+        summarize the child's whole *subtree*, so a delta further down can
+        move them: those are diffed in one vectorized compare and only the
+        dirtied segments' alias tables are invalidated
+        (:meth:`SegmentedAliasTable.rebuild_segments`; reconstruction happens
+        lazily on the next draw that touches them).  Unbuilt plans stay
+        unbuilt.
+        """
+        if self._plans is None:
+            return
+        refreshed: List[_LevelPlan] = []
+        for plan in self._plans:
+            if plan.node.relation in stale_names or plan.parent.relation in stale_names:
+                refreshed.append(self._build_plan(plan.node, plan.parent))
+                continue
+            new_weights = np.asarray(
+                self.weight_function.weights_for(plan.node, plan.csr.row_positions),
+                dtype=float,
+            )
+            plan.bound = self.weight_function.acceptance_bound(plan.node)
+            changed = np.flatnonzero(new_weights != plan.alias.weights)
+            if changed.size:
+                slots = np.unique(
+                    np.searchsorted(plan.csr.offsets, changed, side="right") - 1
+                )
+                plan.alias.rebuild_segments(slots.tolist(), new_weights)
+            refreshed.append(plan)
+        self._plans = refreshed
+
+    def _attempt_block(self, size: int) -> Optional[SampleBlock]:
         """Run ``size`` root-to-leaf walks simultaneously; return the accepted."""
         self.stats.attempts += size
-        if self._root_total <= 0 or self._root_cumulative is None:
+        if self._root_total <= 0 or self._root_alias is None:
             self.stats.rejected_empty += size
-            return []
+            return None
 
         chosen: Dict[str, np.ndarray] = {
             name: np.full(size, -1, dtype=np.intp) for name in self._relation_order
@@ -518,7 +633,7 @@ class JoinSampler:
                 slots = slots[present]
                 if walks.size == 0:
                     break
-            realized = plan.seg_sums[slots]
+            realized = plan.alias.segment_totals[slots]
             positive = realized > 0
             if not positive.all():
                 self.stats.rejected_empty += int((~positive).sum())
@@ -533,16 +648,11 @@ class JoinSampler:
                     self.stats.rejected_weight += int((~accept).sum())
                     walks = walks[accept]
                     slots = slots[accept]
-                    realized = realized[accept]
                     if walks.size == 0:
                         break
-            # Weighted child choice: inverse CDF within each key's segment of
-            # the global cumulative weight array.
-            starts = plan.csr.offsets[slots]
-            ends = plan.csr.offsets[slots + 1]
-            targets = plan.seg_prefix[slots] + self.rng.random(walks.size) * realized
-            idx = np.searchsorted(plan.cum_weights, targets, side="right")
-            idx = np.clip(idx, starts, ends - 1)
+            # Weighted child choice: one alias-table draw per walk (a dart
+            # and a coin — two array lookups, no binary search).
+            idx = plan.alias.sample(self.rng, slots)
             chosen[plan.node.relation][walks] = plan.csr.row_positions[idx]
 
         if walks.size and self.tree.residual_conditions:
@@ -555,27 +665,22 @@ class JoinSampler:
         ):
             walks = self._filter_predicates(chosen, walks)
         if walks.size == 0:
-            return []
+            return None
 
         self.stats.accepted += int(walks.size)
-        return self._assemble_draws(chosen, walks)
+        return SampleBlock(
+            relation_order=self._relation_order,
+            positions={
+                name: chosen[name][walks] for name in self._relation_order
+            },
+            attempts=size,
+            weight=self.weight_function.total_weight,
+        )
 
     def _batch_root_choice(self, size: int) -> np.ndarray:
-        """Vectorized inverse-CDF draw of ``size`` root rows."""
-        assert self._root_cumulative is not None
-        targets = self.rng.random(size) * self._root_total
-        positions = np.searchsorted(self._root_cumulative, targets, side="right")
-        np.clip(positions, 0, len(self._root_weights) - 1, out=positions)
-        # Floating-point edge effects can land on a zero-weight row; redraw
-        # those explicitly (the scalar path does the same).
-        bad = self._root_weights[positions] <= 0
-        if bad.any():
-            positive = np.flatnonzero(self._root_weights > 0)
-            probabilities = self._root_weights[positive] / self._root_weights[positive].sum()
-            positions[bad] = self.rng.choice(
-                positive, size=int(bad.sum()), p=probabilities
-            )
-        return positions.astype(np.intp, copy=False)
+        """``size`` root rows via the root alias table (O(1) per draw)."""
+        assert self._root_alias is not None
+        return self._root_alias.sample(self.rng, size)
 
     def _filter_residuals(self, chosen: Dict[str, np.ndarray], walks: np.ndarray) -> np.ndarray:
         """Drop walks whose assembled assignment violates a residual condition."""
@@ -603,29 +708,12 @@ class JoinSampler:
             walks = walks[keep]
         return walks
 
-    def _assemble_draws(self, chosen: Dict[str, np.ndarray], walks: np.ndarray) -> List[SampleDraw]:
-        """Materialize SampleDraw objects for the surviving walks."""
-        value_columns = []
-        for out in self.query.output_attributes:
-            relation = self.query.relation(out.relation)
-            value_columns.append(
-                relation.columns.gather(out.attribute, chosen[out.relation][walks])
-            )
-        values = list(zip(*value_columns))
-        assignment_columns = {
-            name: chosen[name][walks].tolist() for name in self._relation_order
-        }
-        draws = []
-        names = self._relation_order
-        for i, value in enumerate(values):
-            assignment = {name: assignment_columns[name][i] for name in names}
-            draws.append(SampleDraw(value=value, assignment=assignment, attempts=1))
-        return draws
-
     # --------------------------------------------------------------- internals
     def _weighted_root_choice(self) -> Optional[int]:
-        if self._root_cumulative is None:
+        if self._root_total <= 0:
             return None
+        if self._root_cumulative is None:
+            self._root_cumulative = np.cumsum(self._root_weights)
         target = self.rng.random() * self._root_total
         pos = int(np.searchsorted(self._root_cumulative, target, side="right"))
         if pos >= len(self._root_weights):
@@ -673,4 +761,4 @@ def _merge_stats_delta(
         setattr(target, name, getattr(target, name) + getattr(shard, name) - previous)
 
 
-__all__ = ["JoinSampler", "JoinSamplerStats", "SampleDraw"]
+__all__ = ["JoinSampler", "JoinSamplerStats", "SampleBlock", "SampleDraw"]

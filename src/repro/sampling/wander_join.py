@@ -31,6 +31,8 @@ import numpy as np
 
 from repro.joins.join_tree import JoinTree, JoinTreeNode, build_join_tree
 from repro.joins.query import JoinQuery
+from repro.sampling.alias import uniform_segment_pick
+from repro.sampling.blocks import SampleBlock
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -213,16 +215,66 @@ class WanderJoin:
         probabilities accumulate as ``1/|R_1| · Π 1/d`` exactly as in
         :meth:`walk`.
         """
+        chosen, walks, probability, size = self._descend(size)
+        results = [WalkResult(success=False) for _ in range(size)]
+        if walks is None or walks.size == 0:
+            return results
+
+        value_columns = []
+        for out in self.query.output_attributes:
+            relation = self.query.relation(out.relation)
+            value_columns.append(
+                relation.columns.gather(out.attribute, chosen[out.relation][walks])
+            )
+        values = list(zip(*value_columns))
+        relation_names = [node.relation for node, _ in self._order]
+        assignment_columns = {
+            name: chosen[name][walks].tolist() for name in relation_names
+        }
+        for i, walk_id in enumerate(walks.tolist()):
+            results[walk_id] = WalkResult(
+                success=True,
+                value=values[i],
+                assignment={name: assignment_columns[name][i] for name in relation_names},
+                probability=float(probability[walk_id]),
+            )
+        return results
+
+    def walk_block(self, size: int) -> SampleBlock:
+        """``size`` walks as one struct-of-arrays block (zero-object path).
+
+        The block holds the *successful* walks' per-relation row indices and
+        their Horvitz–Thompson weights ``1/p(t)``; ``attempts`` records all
+        ``size`` walks so attempt-level estimators stay unbiased.  Consumes
+        the identical random stream as :meth:`walk_batch`, so both paths
+        describe the same walks for a fixed seed.
+        """
+        chosen, walks, probability, size = self._descend(size)
+        relation_names = tuple(node.relation for node, _ in self._order)
+        if walks is None or walks.size == 0:
+            block = SampleBlock.empty(relation_names)
+            block.attempts = size
+            block.weights = np.empty(0, dtype=float)
+            return block
+        return SampleBlock(
+            relation_order=relation_names,
+            positions={name: chosen[name][walks] for name in relation_names},
+            attempts=size,
+            weights=1.0 / probability[walks],
+        )
+
+    def _descend(self, size: int):
+        """Shared vectorized descent: ``(chosen, surviving walks, p, size)``."""
         if size < 0:
             raise ValueError("size must be non-negative")
         if size == 0:
-            return []
+            return {}, None, None, 0
         self.walk_count += size
         root = self.tree.root
         root_rel = self.query.relation(root.relation)
         n_root = len(root_rel)
         if n_root == 0:
-            return [WalkResult(success=False) for _ in range(size)]
+            return {}, None, None, size
 
         chosen: Dict[str, np.ndarray] = {
             node.relation: np.full(size, -1, dtype=np.intp)
@@ -260,9 +312,8 @@ class WanderJoin:
                 degrees = degrees[alive]
                 if walks.size == 0:
                     break
-            picks = starts + np.minimum(
-                (self.rng.random(walks.size) * degrees).astype(np.intp), degrees - 1
-            )
+            # Uniform hop: the degenerate (single-dart) alias kernel.
+            picks = uniform_segment_pick(self.rng, starts, degrees)
             chosen[node.relation][walks] = csr.row_positions[picks]
             probability[walks] /= degrees
 
@@ -273,29 +324,7 @@ class WanderJoin:
             walks = walks[ok]
 
         self.success_count += int(walks.size)
-        results = [WalkResult(success=False) for _ in range(size)]
-        if walks.size == 0:
-            return results
-
-        value_columns = []
-        for out in self.query.output_attributes:
-            relation = self.query.relation(out.relation)
-            value_columns.append(
-                relation.columns.gather(out.attribute, chosen[out.relation][walks])
-            )
-        values = list(zip(*value_columns))
-        relation_names = [node.relation for node, _ in self._order]
-        assignment_columns = {
-            name: chosen[name][walks].tolist() for name in relation_names
-        }
-        for i, walk_id in enumerate(walks.tolist()):
-            results[walk_id] = WalkResult(
-                success=True,
-                value=values[i],
-                assignment={name: assignment_columns[name][i] for name in relation_names},
-                probability=float(probability[walk_id]),
-            )
-        return results
+        return chosen, walks, probability, size
 
     # -------------------------------------------------------------- estimation
     def estimate_size(

@@ -1,0 +1,176 @@
+"""Alias-table kernels: construction invariants and draw distributions.
+
+Two layers of guarantees:
+
+* **exact mass accounting** — an alias table is a redistribution of the
+  normalized weights over uniform buckets; summing each item's bucket share
+  (``prob`` of its own bucket plus ``1 - prob`` of every bucket aliased to
+  it) must reproduce the weight distribution to floating-point accuracy,
+  for any weight profile (uniform, zipfian, single-heavy, zeros);
+* **distribution equivalence** — drawing through the alias table must be
+  chi-square-compatible with the inverse-CDF (``searchsorted``) reference
+  the batched engine used before, both flat and per-CSR-segment, including
+  after per-segment rebuilds (the epoch protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.alias import AliasTable, SegmentedAliasTable, uniform_segment_pick
+
+from tests.stat_helpers import STAT_SEED, assert_uniform
+
+
+def bucket_mass(table: AliasTable) -> np.ndarray:
+    """Each item's total draw probability implied by the prob/alias arrays."""
+    mass = np.zeros(table.n)
+    np.add.at(mass, np.arange(table.n), table.prob / table.n)
+    np.add.at(mass, table.alias, (1 - table.prob) / table.n)
+    return mass
+
+
+WEIGHT_PROFILES = {
+    "uniform": np.ones(257),
+    "two_point": np.array([0.25, 0.75]),
+    "single": np.array([3.5]),
+    "one_heavy": np.concatenate([[1e6], np.ones(999)]),
+    "zipf": 1.0 / np.arange(1, 2001) ** 1.2,
+    "with_zeros": np.array([0.0, 3.0, 0.0, 1.0, 0.0, 2.0, 0.0]),
+    "extreme_range": np.array([1e-12, 1.0, 1e12, 1e-12, 3.0]),
+    "random": np.random.default_rng(41).random(1500),
+}
+
+
+class TestAliasTableConstruction:
+    @pytest.mark.parametrize("profile", sorted(WEIGHT_PROFILES))
+    def test_mass_accounting_is_exact(self, profile):
+        weights = WEIGHT_PROFILES[profile]
+        table = AliasTable(weights)
+        expected = weights / weights.sum()
+        assert np.abs(bucket_mass(table) - expected).max() < 1e-9
+
+    def test_zero_weight_items_are_never_drawn(self):
+        weights = WEIGHT_PROFILES["with_zeros"]
+        table = AliasTable(weights)
+        draws = table.sample(np.random.default_rng(STAT_SEED), 5000)
+        assert not np.isin(draws, np.flatnonzero(weights == 0)).any()
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            AliasTable(np.zeros(3)).sample(np.random.default_rng(0), 1)
+        with pytest.raises(ValueError):
+            AliasTable(np.zeros(0)).sample(np.random.default_rng(0), 1)
+
+
+class TestAliasVsSearchsorted:
+    """The alias draw must match the inverse-CDF reference distribution."""
+
+    def _searchsorted_reference(self, weights, rng, size):
+        cumulative = np.cumsum(weights)
+        targets = rng.random(size) * cumulative[-1]
+        return np.searchsorted(cumulative, targets, side="right")
+
+    @pytest.mark.parametrize("profile", ["zipf", "one_heavy", "random"])
+    def test_flat_distribution_matches(self, profile):
+        weights = WEIGHT_PROFILES[profile][:64]
+        alias_draws = AliasTable(weights).sample(
+            np.random.default_rng(STAT_SEED), 20_000
+        )
+        reference = self._searchsorted_reference(
+            weights, np.random.default_rng(STAT_SEED + 1), 20_000
+        )
+        alias_freq = np.bincount(alias_draws, minlength=len(weights)) / 20_000
+        ref_freq = np.bincount(reference, minlength=len(weights)) / 20_000
+        expected = weights / weights.sum()
+        assert np.abs(alias_freq - expected).max() < 0.02
+        assert np.abs(alias_freq - ref_freq).max() < 0.03
+
+    def test_segmented_distribution_matches_reference(self):
+        rng_w = np.random.default_rng(7)
+        degrees = rng_w.integers(1, 9, size=40)
+        offsets = np.concatenate([[0], np.cumsum(degrees)])
+        weights = rng_w.random(int(offsets[-1])) + 0.05
+        table = SegmentedAliasTable(weights, offsets)
+        rng = np.random.default_rng(STAT_SEED)
+        slots = rng.integers(0, 40, size=30_000).astype(np.intp)
+        picks = table.sample(rng, slots)
+        for slot in range(40):
+            lo, hi = int(offsets[slot]), int(offsets[slot + 1])
+            segment_picks = picks[slots == slot]
+            assert ((segment_picks >= lo) & (segment_picks < hi)).all()
+            if len(segment_picks) < 200 or hi - lo < 2:
+                continue
+            freq = np.bincount(segment_picks - lo, minlength=hi - lo) / len(segment_picks)
+            expected = weights[lo:hi] / weights[lo:hi].sum()
+            assert np.abs(freq - expected).max() < 0.08
+
+    def test_uniform_segments_draw_uniformly(self):
+        offsets = np.array([0, 5, 5, 9])
+        weights = np.ones(9)
+        table = SegmentedAliasTable(weights, offsets)
+        # Uniform segments are pre-marked built: no construction work at all.
+        assert table._built.all()
+        rng = np.random.default_rng(STAT_SEED)
+        picks = table.sample(rng, np.zeros(6000, dtype=np.intp))
+        assert_uniform(picks.tolist(), list(range(5)))
+
+
+class TestSegmentRebuild:
+    def test_rebuild_segments_is_local(self):
+        offsets = np.array([0, 3, 6, 10])
+        weights = np.array([1.0, 2.0, 3.0, 5.0, 5.0, 5.0, 1.0, 1.0, 1.0, 7.0])
+        table = SegmentedAliasTable(weights, offsets)
+        table.ensure_built(np.array([0, 1, 2], dtype=np.intp))
+        built_before = table._built.copy()
+        assert built_before.all()
+
+        new_weights = weights.copy()
+        new_weights[0:3] = [4.0, 0.0, 1.0]
+        table.rebuild_segments([0], new_weights)
+        # Only slot 0 was invalidated; the others keep their tables.
+        assert not table._built[0]
+        assert table._built[1] and table._built[2]
+        assert table.segment_totals[0] == pytest.approx(5.0)
+
+        rng = np.random.default_rng(STAT_SEED)
+        picks = table.sample(rng, np.zeros(10_000, dtype=np.intp))
+        freq = np.bincount(picks, minlength=3)[:3] / 10_000
+        assert freq[0] == pytest.approx(0.8, abs=0.02)
+        assert freq[1] == 0.0
+        assert freq[2] == pytest.approx(0.2, abs=0.02)
+
+    def test_rebuild_rejects_shape_change(self):
+        table = SegmentedAliasTable(np.ones(4), np.array([0, 2, 4]))
+        with pytest.raises(ValueError, match="shape"):
+            table.rebuild_segments([0], np.ones(5))
+
+    def test_empty_segments_are_legal(self):
+        offsets = np.array([0, 2, 2, 4])  # middle slot emptied by deletions
+        table = SegmentedAliasTable(np.ones(4), offsets)
+        assert table.segment_totals[1] == 0.0
+        picks = table.sample(
+            np.random.default_rng(0), np.array([0, 2, 0, 2], dtype=np.intp)
+        )
+        assert ((picks < 2) | (picks >= 2)).all()
+
+
+class TestUniformSegmentPick:
+    def test_picks_stay_inside_segments(self):
+        starts = np.array([0, 10, 20], dtype=np.intp)
+        degrees = np.array([10, 5, 1], dtype=np.intp)
+        rng = np.random.default_rng(STAT_SEED)
+        for _ in range(50):
+            picks = uniform_segment_pick(rng, starts, degrees)
+            assert ((picks >= starts) & (picks < starts + degrees)).all()
+
+    def test_uniform_within_segment(self):
+        starts = np.zeros(8000, dtype=np.intp)
+        degrees = np.full(8000, 7, dtype=np.intp)
+        picks = uniform_segment_pick(np.random.default_rng(STAT_SEED), starts, degrees)
+        assert_uniform(picks.tolist(), list(range(7)))

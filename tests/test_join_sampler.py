@@ -143,9 +143,14 @@ class TestBatchEdgeCases:
     def test_count_zero_leaves_buffer_intact(self, chain_query):
         sampler = JoinSampler(chain_query, seed=5)
         sampler.sample()  # fills the buffer with surplus accepted draws
-        buffered = len(sampler._buffer)
+        buffered = len(sampler._draw_buffer) + sum(
+            len(b) for b in sampler._block_buffer
+        )
+        assert buffered > 0
         assert sampler.sample_batch(0) == []
-        assert len(sampler._buffer) == buffered
+        assert len(sampler._draw_buffer) + sum(
+            len(b) for b in sampler._block_buffer
+        ) == buffered
 
     def test_count_one(self, chain_query):
         sampler = JoinSampler(chain_query, seed=6)
@@ -171,17 +176,17 @@ class TestBatchEdgeCases:
 
     def test_exhaustion_preserves_accepted_draws_in_buffer(self, chain_query, monkeypatch):
         sampler = JoinSampler(chain_query, seed=8)
-        real_attempt = sampler._attempt_batch
+        real_attempt = sampler._attempt_block
         calls = {"n": 0}
 
         def one_accept_then_dry(size):
             calls["n"] += 1
             if calls["n"] == 1:
-                return real_attempt(size)[:1]
+                return real_attempt(size).split(1)[0]
             sampler.stats.attempts += size
-            return []
+            return None
 
-        monkeypatch.setattr(sampler, "_attempt_batch", one_accept_then_dry)
+        monkeypatch.setattr(sampler, "_attempt_block", one_accept_then_dry)
         with pytest.raises(RuntimeError, match="failed to accept"):
             sampler.sample_batch(5, max_attempts=100)
         # The accepted draw survived the failure and serves the next request.
@@ -222,8 +227,11 @@ class TestSplitAndParallelism:
 
     def test_parallel_batch_serves_parked_buffer_first(self, chain_query):
         sampler = JoinSampler(chain_query, seed=15, parallelism=2)
-        parked = JoinSampler(chain_query, seed=16).sample_many(3)
-        sampler._buffer.extend(parked)
+        parked = JoinSampler(chain_query, seed=16).sample_block(3)
+        parked.attempts = 0
+        sampler._block_buffer.append(parked)
+        expected = parked.values(chain_query)
         draws = sampler.sample_batch(2)
-        assert [d.value for d in draws] == [p.value for p in parked[:2]]
-        assert len(sampler._buffer) == 1  # the third parked draw stays queued
+        assert [d.value for d in draws] == expected[:2]
+        # the third parked sample stays queued
+        assert sum(len(b) for b in sampler._block_buffer) == 1

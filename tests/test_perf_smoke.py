@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro.sampling.blocks import SampleBlock
 from repro.sampling.join_sampler import JoinSampler
 from repro.tpch.workloads import build_uq2
 
@@ -66,3 +67,56 @@ def test_batch_and_scalar_agree_on_acceptance(smoke_query):
     sampler = JoinSampler(smoke_query, weights="ew", seed=17)
     sampler.sample_batch(500)
     assert sampler.stats.acceptance_rate == pytest.approx(1.0)
+
+
+def test_block_pipeline_at_least_boxed_throughput(smoke_query):
+    """The zero-object aggregate pipeline must not regress below the boxed
+    path it replaced: sample_block -> ingest_block vs sample_batch ->
+    observe, same draws, same estimator state (the real margin — >= 2x on
+    the TPC-H workloads — is recorded in ``BENCH_pipeline.json``; the gate
+    here is deliberately loose for noisy CI machines)."""
+    from repro.aqp import AggregateAccumulator, AggregateSpec
+
+    spec = AggregateSpec("sum", attribute="retailprice")
+
+    def boxed_rate(count):
+        sampler = JoinSampler(smoke_query, weights="ew", seed=19)
+        accumulator = AggregateAccumulator(spec, smoke_query.output_schema)
+        weight = sampler.weight_function.total_weight
+        sampler.sample_batch(50)
+        sampler.pop_buffered()
+        started = time.perf_counter()
+        before = sampler.stats.attempts
+        draws = sampler.sample_batch(count)
+        draws.extend(sampler.pop_buffered())
+        accumulator.observe(
+            [d.value for d in draws],
+            attempts=sampler.stats.attempts - before,
+            weight=weight,
+        )
+        return len(draws) / (time.perf_counter() - started)
+
+    def block_rate(count):
+        sampler = JoinSampler(smoke_query, weights="ew", seed=19)
+        accumulator = AggregateAccumulator(spec, smoke_query.output_schema)
+        weight = sampler.weight_function.total_weight
+        sampler.sample_block(50)
+        sampler.pop_buffered_blocks()
+        started = time.perf_counter()
+        before = sampler.stats.attempts
+        blocks = [sampler.sample_block(count)]
+        blocks.extend(sampler.pop_buffered_blocks())
+        block = SampleBlock.concat(blocks)
+        accumulator.ingest_block(
+            block.value_columns(smoke_query),
+            attempts=sampler.stats.attempts - before,
+            weight=weight,
+        )
+        return len(block) / (time.perf_counter() - started)
+
+    boxed = boxed_rate(4000)
+    block = block_rate(4000)
+    assert block >= boxed, (
+        f"block pipeline ({block:.0f}/s) slower than boxed path "
+        f"({boxed:.0f}/s) — zero-object pipeline regressed"
+    )
