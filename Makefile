@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-updates bench-full profile
+.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-updates bench-full profile
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -27,6 +27,11 @@ bench-aqp:
 # vs the sequential reference): writes BENCH_parallel.json at the root.
 bench-parallel:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_parallel.py
+
+# Shard-supervision benchmark (fault-free overhead budget + chaos recovery):
+# writes BENCH_resilience.json (see docs/resilience.md).
+bench-resilience:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_resilience.py
 
 # Incremental-update benchmark (delta maintenance vs full rebuild under an
 # RF1/RF2 refresh stream): writes BENCH_updates.json at the root.

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Benchmark the shard supervisor: fault-free overhead and chaos recovery.
+
+Two questions about the fault-tolerance layer added around the parallel
+sampling service (see ``docs/resilience.md``):
+
+1. **Overhead** — how much does supervision cost when nothing goes wrong?
+   The same fixed shard plan is timed through the plain in-process
+   sequential reference (the pre-supervision execution shape) and through
+   the supervised thread rung.  The budget is <= 5% added wall-clock; the
+   inline fast path (1 worker) must stay at the pre-resilience cost.
+2. **Recovery** — with a 10% injected fault rate (the acceptance-gate
+   chaos level), the supervised run must still merge to an estimate
+   bit-identical to the fault-free sequential reference, and the report
+   records how much wall-clock the retries cost.
+
+Results are written to ``BENCH_resilience.json`` at the repository root.
+
+Run via ``make bench-resilience`` or::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from common import machine_info, uq1_workload, write_report
+
+from repro.aqp import AggregateSpec  # noqa: E402
+from repro.parallel import ParallelSamplerPool, sequential_reference  # noqa: E402
+from repro.resilience import NO_FAULTS, FaultPlan, RetryPolicy  # noqa: E402
+
+SHARDS = 8
+SAMPLES = 60_000
+REPEATS = 5
+OVERHEAD_BUDGET = 0.05  # fault-free supervised cost <= 5% over sequential
+CHAOS_RATE = 0.1
+CHAOS_SEED = 2023
+
+#: Retries in the chaos leg back off fast: the benchmark measures recovery
+#: machinery, not the configured politeness of the default policy.
+CHAOS_POLICY = RetryPolicy(backoff_base=0.001, backoff_cap=0.01)
+
+
+def report_key(report):
+    overall = report.overall
+    return (overall.estimate, overall.ci_low, overall.ci_high,
+            report.attempts, report.accepted)
+
+
+def merge_reference(tasks):
+    merged = None
+    for result in sequential_reference(tasks):
+        if merged is None:
+            merged = result.accumulator
+        else:
+            merged.merge(result.accumulator)
+    return merged.estimate()
+
+
+def best_of(fn, repeats=REPEATS):
+    times = []
+    value = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        value = fn()
+        times.append(time.perf_counter() - started)
+    return min(times), value
+
+
+def supervised_run(queries, spec, seed, *, workers, fault_plan, policy=None):
+    pool = ParallelSamplerPool(workers=workers, execution="thread",
+                               fault_plan=fault_plan, retry_policy=policy,
+                               job_timeout=600)
+    report = pool.aggregate(queries, spec, SAMPLES, seed=seed, shards=SHARDS)
+    return pool, report_key(report.accumulator.estimate())
+
+
+def main() -> int:
+    info = machine_info()
+    seed = info["seed"]
+    uq1 = uq1_workload()
+    queries = uq1.queries[0]
+    spec = AggregateSpec("sum", attribute="totalprice")
+
+    probe = ParallelSamplerPool(workers=1, execution="thread", fault_plan=NO_FAULTS)
+    tasks = probe.plan_tasks(queries, SAMPLES, seed=seed, spec=spec, shards=SHARDS)
+
+    # Baseline: the pre-supervision execution shape — a plain loop over the
+    # shard plan with no supervisor, no integrity checks, no fault hooks.
+    seq_seconds, reference = best_of(lambda: merge_reference(tasks))
+
+    # Fault-free supervised runs: the inline fast path and the thread rung.
+    runs = {}
+    for label, workers in (("inline_1_worker", 1), ("thread_2_workers", 2)):
+        seconds, (_, key) = best_of(
+            lambda w=workers: supervised_run(queries, spec, seed,
+                                             workers=w, fault_plan=NO_FAULTS)
+        )
+        runs[label] = {
+            "seconds": round(seconds, 5),
+            "overhead_vs_sequential": round(seconds / seq_seconds - 1.0, 4),
+            "bit_identical_to_sequential": key == report_key(reference),
+        }
+    # The inline path is the apples-to-apples overhead gate: same single
+    # thread of execution as the sequential baseline, plus supervision.
+    overhead = runs["inline_1_worker"]["overhead_vs_sequential"]
+
+    # Chaos leg: 10% injected raise faults, deterministic seed.  Recovery
+    # must be invisible in the answer; the report shows what it cost.
+    chaos_plan = FaultPlan(seed=CHAOS_SEED, rate=CHAOS_RATE, kinds=("raise",))
+    chaos_seconds, (chaos_pool, chaos_key) = best_of(
+        lambda: supervised_run(queries, spec, seed, workers=2,
+                               fault_plan=chaos_plan, policy=CHAOS_POLICY),
+        repeats=3,
+    )
+    stats = chaos_pool.stats
+
+    report = {
+        "benchmark": "shard supervision: fault-free overhead + chaos recovery",
+        **info,
+        "samples": SAMPLES,
+        "shards": SHARDS,
+        "overhead_budget": OVERHEAD_BUDGET,
+        "sequential_reference_seconds": round(seq_seconds, 5),
+        "fault_free": runs,
+        "fault_free_overhead": overhead,
+        "meets_overhead_budget": overhead <= OVERHEAD_BUDGET,
+        "chaos": {
+            "fault_rate": CHAOS_RATE,
+            "fault_seed": CHAOS_SEED,
+            "seconds": round(chaos_seconds, 5),
+            "recovery_overhead_vs_fault_free": round(
+                chaos_seconds / runs["thread_2_workers"]["seconds"] - 1.0, 4
+            ),
+            "retries": stats.retries,
+            "shard_exceptions": stats.shard_exceptions,
+            "bit_identical_to_sequential": chaos_key == report_key(reference),
+        },
+        "all_bit_identical": (
+            all(r["bit_identical_to_sequential"] for r in runs.values())
+            and chaos_key == report_key(reference)
+        ),
+    }
+
+    write_report("BENCH_resilience.json", report)
+    # Determinism under faults is the hard gate; the overhead budget is
+    # reported but judged on quiet hardware (CI noise exceeds 5%).
+    return 0 if report["all_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

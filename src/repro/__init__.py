@@ -80,6 +80,17 @@ from repro.parallel import (
     parallel_aggregate,
     parallel_sample,
 )
+from repro.resilience import (
+    FaultAction,
+    FaultPlan,
+    JobDeadlineExceeded,
+    PoisonShardError,
+    RetryPolicy,
+    ShardCrash,
+    ShardError,
+    ShardSupervisor,
+    ShardTimeout,
+)
 from repro.relational import (
     Attribute,
     Comparison,
@@ -193,4 +204,14 @@ __all__ = [
     "ShardResult",
     "parallel_sample",
     "parallel_aggregate",
+    # resilience (fault-tolerant sampling service)
+    "FaultAction",
+    "FaultPlan",
+    "JobDeadlineExceeded",
+    "PoisonShardError",
+    "RetryPolicy",
+    "ShardCrash",
+    "ShardError",
+    "ShardSupervisor",
+    "ShardTimeout",
 ]

@@ -138,7 +138,15 @@ class AggregateEstimate:
 
 @dataclass
 class AggregateReport:
-    """Per-group estimates of one accumulator snapshot."""
+    """Per-group estimates of one accumulator snapshot.
+
+    ``degraded=True`` marks a *partial* answer: the job hit its deadline (or
+    shards exhausted their retries under ``allow_partial``) and the report
+    merges only the shards/steps that completed — still unbiased, just wider.
+    ``completed_shards``/``planned_shards`` quantify the shortfall for
+    parallel jobs; consumers should report the *achieved* relative error
+    (:meth:`max_relative_half_width`), not the one that was requested.
+    """
 
     spec: AggregateSpec
     estimates: Dict[Tuple, AggregateEstimate]
@@ -146,6 +154,9 @@ class AggregateReport:
     accepted: int
     confidence: float
     ci_method: str
+    degraded: bool = False
+    completed_shards: Optional[int] = None
+    planned_shards: Optional[int] = None
 
     @property
     def overall(self) -> AggregateEstimate:
@@ -165,14 +176,21 @@ class AggregateReport:
         return max(e.relative_half_width for e in self.estimates.values())
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        achieved = self.max_relative_half_width()
+        payload: Dict[str, object] = {
             "aggregate": self.spec.describe(),
             "confidence": self.confidence,
             "ci_method": self.ci_method,
             "attempts": self.attempts,
             "accepted": self.accepted,
+            "degraded": self.degraded,
+            "achieved_rel_error": None if math.isinf(achieved) else achieved,
             "groups": [self.estimates[g].to_dict() for g in self.groups()],
         }
+        if self.completed_shards is not None:
+            payload["completed_shards"] = self.completed_shards
+            payload["planned_shards"] = self.planned_shards
+        return payload
 
 
 class _GroupData:

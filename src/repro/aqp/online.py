@@ -16,8 +16,11 @@ mutation remain valid for the snapshot they were computed on.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.resilience.errors import JobDeadlineExceeded
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
 from repro.aqp.planner import (
@@ -215,6 +218,8 @@ class OnlineAggregator:
         confidence: Optional[float] = None,
         max_attempts: int = 1_000_000,
         min_accepted: int = 32,
+        deadline: Optional[float] = None,
+        allow_partial: bool = False,
     ) -> AggregateReport:
         """Online-aggregation stopping rule.
 
@@ -223,11 +228,23 @@ class OnlineAggregator:
         most ``rel_error`` — or, for exactly-zero estimates, zero width.
         Raises ``RuntimeError`` when ``max_attempts`` draw attempts do not
         reach the target (degenerate aggregate or budget too small).
+
+        ``deadline`` bounds the run in wall-clock seconds (checked between
+        steps — one step is the granularity of cancellation).  When it
+        expires before convergence the default is to raise
+        :class:`~repro.resilience.errors.JobDeadlineExceeded`; with
+        ``allow_partial=True`` the current estimate comes back instead,
+        marked ``degraded=True`` — an unbiased answer whose *achieved*
+        relative error (``report.max_relative_half_width()``) is simply
+        wider than the one requested.
         """
         if rel_error <= 0:
             raise ValueError("rel_error must be positive")
+        if deadline is not None and deadline < 0:
+            raise ValueError("deadline must be non-negative")
         if confidence is not None:
             self.confidence = confidence
+        deadline_at = None if deadline is None else time.monotonic() + deadline
         report = self.estimate()
         # Geometric step schedule: start small so an easy target stops after
         # a few hundred samples, grow toward the planned batch size so a
@@ -236,7 +253,23 @@ class OnlineAggregator:
         # O(n log n).
         step_size = min(self.batch_size, 256)
         while not self._converged(report, rel_error, min_accepted):
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                if allow_partial:
+                    report.degraded = True
+                    return report
+                achieved = report.max_relative_half_width()
+                raise JobDeadlineExceeded(
+                    f"online aggregation hit its {deadline:g}s deadline before "
+                    f"reaching rel_error={rel_error} at confidence="
+                    f"{self.confidence} (achieved relative half-width: "
+                    f"{achieved:.3g} after {self.accumulator.attempts} attempts); "
+                    "pass allow_partial=True for the degraded estimate",
+                    deadline=deadline,
+                )
             if self.accumulator.attempts >= max_attempts:
+                if allow_partial:
+                    report.degraded = True
+                    return report
                 raise RuntimeError(
                     f"online aggregation did not reach rel_error={rel_error} at "
                     f"confidence={self.confidence} within {max_attempts} attempts "

@@ -43,6 +43,7 @@ from repro.estimation.random_walk import RandomWalkUnionEstimator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments import figures as figure_module
 from repro.parallel import parallel_sample
+from repro.resilience import JobDeadlineExceeded
 from repro.tpch.workloads import build_workload
 from repro.utils.rng import spawn_rngs
 
@@ -92,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "(>1 routes through the shard service — incompatible "
                         "with --sampler/--warmup/--weights — and draws the "
                         "same samples for any worker count > 1)")
+    sample.add_argument("--shard-timeout", type=float, default=None,
+                        help="per-shard-attempt timeout in seconds for the "
+                        "parallel service (requires --workers > 1); a shard "
+                        "that blows it is killed/abandoned and retried")
+    sample.add_argument("--retries", type=int, default=None,
+                        help="re-executions allowed per shard before the job "
+                        "fails (requires --workers > 1; default 2)")
+    sample.add_argument("--deadline", type=float, default=None,
+                        help="job-level deadline in seconds (requires "
+                        "--workers > 1); exceeding it exits with code 3 "
+                        "unless --allow-partial")
+    sample.add_argument("--allow-partial", action="store_true",
+                        help="on an exceeded deadline, print the samples from "
+                        "the shards that completed instead of failing "
+                        "(requires --workers > 1)")
 
     estimate = sub.add_parser("estimate", help="compare warm-up estimators on a workload")
     _add_workload_arguments(estimate)
@@ -125,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
     aggregate.add_argument("--workers", type=int, default=1,
                            help="sampler shards run per batch (>1 fans each "
                            "online-aggregation step out across cores)")
+    aggregate.add_argument("--deadline", type=float, default=None,
+                           help="wall-clock budget in seconds for the online-"
+                           "aggregation loop; exceeding it before the error "
+                           "target exits with code 3 unless --allow-partial")
+    aggregate.add_argument("--allow-partial", action="store_true",
+                           help="on an exceeded deadline, report the current "
+                           "(degraded) estimate with its achieved — not "
+                           "requested — relative error instead of failing")
     aggregate.add_argument("--json", action="store_true",
                            help="print a machine-readable JSON report")
 
@@ -165,6 +189,24 @@ def command_sample(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.workers == 1:
+        resilience_flags = [
+            flag
+            for flag, value in (
+                ("--shard-timeout", args.shard_timeout),
+                ("--retries", args.retries),
+                ("--deadline", args.deadline),
+                ("--allow-partial", args.allow_partial or None),
+            )
+            if value is not None
+        ]
+        if resilience_flags:
+            print(
+                f"error: {', '.join(resilience_flags)} configure the parallel "
+                "shard service; add --workers > 1",
+                file=sys.stderr,
+            )
+            return 2
     if args.workers > 1:
         # The parallel service plans its own backend (shard-local union
         # samplers with histogram warm-ups); silently dropping an explicit
@@ -232,11 +274,24 @@ def _sample_parallel(args: argparse.Namespace, workload, queries) -> int:
     """Draw via the parallel sampling service (deterministic in any worker count)."""
     try:
         report = parallel_sample(
-            queries, args.samples, workers=args.workers, seed=args.seed
+            queries,
+            args.samples,
+            workers=args.workers,
+            seed=args.seed,
+            job_timeout=args.deadline,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.retries,
+            allow_partial=args.allow_partial,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except JobDeadlineExceeded as error:
+        # Deadline failures get their own exit code so schedulers can tell
+        # "ran out of time" from "could not run" (add --allow-partial to get
+        # the completed shards instead).
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     except RuntimeError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -245,6 +300,14 @@ def _sample_parallel(args: argparse.Namespace, workload, queries) -> int:
     print(f"samples drawn      : {len(report.values)}")
     print(f"per-join samples   : {report.source_counts()}")
     print(f"shard attempts     : {report.attempts} (accepted {report.accepted})")
+    if report.retries or report.degradations:
+        print(f"shard retries      : {report.retries} "
+              f"(crashes {report.shard_crashes}, timeouts {report.shard_timeouts}, "
+              f"degradations {report.degradations})")
+    if report.degraded:
+        print(f"DEGRADED           : completed {report.completed_shards}/"
+              f"{report.planned_shards} shards before the deadline; the draw "
+              "covers only those shards")
     print("first 5 samples:")
     for value in report.values[:5]:
         print(f"  {value}")
@@ -324,7 +387,22 @@ def command_aggregate(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     try:
-        report = aggregator.until(args.rel_error, max_attempts=args.max_attempts)
+        report = aggregator.until(
+            args.rel_error,
+            max_attempts=args.max_attempts,
+            deadline=args.deadline,
+            allow_partial=args.allow_partial,
+        )
+    except ValueError as error:
+        # e.g. a negative --rel-error or --deadline.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except JobDeadlineExceeded as error:
+        # Out of time, not out of options: exit code 3 distinguishes an
+        # exceeded deadline (retry with more time or --allow-partial) from
+        # a run that cannot converge at all.
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     except RuntimeError as error:
         # Budget exhausted before the error target: report, don't traceback.
         print(f"error: {error}", file=sys.stderr)
@@ -351,6 +429,11 @@ def command_aggregate(args: argparse.Namespace) -> int:
           f"method={args.method} backend={aggregator.backend}")
     print(f"aggregate          : {spec.describe()}")
     print(f"attempts/accepted  : {report.attempts} / {report.accepted}")
+    if report.degraded:
+        achieved = report.max_relative_half_width()
+        achieved_text = "inf" if achieved == float("inf") else f"{achieved:.4f}"
+        print(f"DEGRADED           : deadline hit before rel_error={args.rel_error}; "
+              f"achieved rel error {achieved_text}")
     for group in report.groups():
         estimate = report.estimates[group]
         label = "overall" if not group else "group " + repr(tuple(group))

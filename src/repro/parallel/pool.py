@@ -2,7 +2,7 @@
 
 :class:`ParallelSamplerPool` executes a fixed list of
 :class:`~repro.parallel.shards.ShardTask` across N workers and merges the
-results deterministically.  Three properties define the service:
+results deterministically.  Four properties define the service:
 
 **Determinism across worker counts.**  The shard plan — shard count, per-shard
 sample quotas, per-shard seeds — depends only on the job (queries, total
@@ -27,19 +27,33 @@ semantics of the update engine), the in-flight shard results are *discarded*
 new snapshot, matching the restart semantics of
 :class:`~repro.aqp.online.OnlineAggregator`.
 
+**Fault tolerance via shard supervision.**  Every shard is dispatched
+individually by a :class:`~repro.resilience.supervisor.ShardSupervisor`
+(PR 6): per-shard timeouts, bounded retries with deterministic backoff,
+poison-shard detection, a ``process -> thread -> inline`` degradation
+ladder, pre-merge result-integrity checks, and job-level deadlines with
+principled partial results (``allow_partial``).  Because shard payloads are
+pure functions of (task, seed) — never of the attempt number or the rung —
+retries and degradations are invisible in the merged answer: a job that
+survived crashes is bit-identical to a fault-free run
+(``tests/test_resilience.py``).  Failures that exhaust the retry budget
+re-raise with full shard attribution (shard id, seed, backend, attempt
+count, rung) and the original traceback chained, instead of the old blanket
+``pool.terminate()``.
+
 Processes vs threads: process workers (``multiprocessing`` with the
 ``spawn`` start method) sidestep the GIL but pay per-worker interpreter
 start-up plus pickling of the relations; thread workers share memory and
 start instantly but only overlap during GIL-releasing numpy sections.  The
 ``"auto"`` execution policy picks processes for large jobs on multi-core
-machines and threads otherwise; see ``docs/parallel.md``.
+machines and threads otherwise; see ``docs/parallel.md`` and
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -52,6 +66,13 @@ from repro.parallel.shards import (
     ShardTask,
     observed_versions,
     run_shard,
+)
+from repro.resilience.faults import FaultPlan, InjectedFault, fault_plan_from_env
+from repro.resilience.supervisor import (
+    RetryPolicy,
+    ShardSupervisor,
+    SupervisedOutcome,
+    SupervisionStats,
 )
 from repro.utils.rng import RandomState, shard_seed_sequences
 
@@ -69,7 +90,15 @@ EXECUTION_MODES = ("auto", "thread", "process")
 
 @dataclass
 class ParallelRunReport:
-    """Merged outcome of one parallel job plus fleet-level accounting."""
+    """Merged outcome of one parallel job plus fleet-level accounting.
+
+    The resilience counters (``retries`` through ``degraded``) describe the
+    final epoch's supervised run: how many shard attempts failed transiently
+    and were retried, how many worker processes died, how many results were
+    rejected by the pre-merge integrity check, and whether the report is a
+    *partial* answer (``degraded=True``: some shards never completed before
+    the deadline or exhausted their retries under ``allow_partial``).
+    """
 
     backend: str
     execution: str
@@ -84,6 +113,18 @@ class ParallelRunReport:
     #: aggregate mode: merged accumulator (shard-id merge order)
     accumulator: Optional[AggregateAccumulator] = None
     per_shard: List[Dict[str, int]] = field(default_factory=list)
+    #: resilience accounting (see SupervisionStats)
+    retries: int = 0
+    shard_timeouts: int = 0
+    shard_crashes: int = 0
+    corrupt_results: int = 0
+    poison_shards: int = 0
+    degradations: int = 0
+    planned_shards: int = 0
+    completed_shards: int = 0
+    failed_shards: List[int] = field(default_factory=list)
+    degraded: bool = False
+    deadline_hit: bool = False
 
     def source_counts(self) -> Dict[str, int]:
         counts: Dict[str, int] = {}
@@ -108,10 +149,31 @@ class ParallelSamplerPool:
         (the default) is the only start method that is both fork-safe and
         identical across platforms.
     job_timeout:
-        Wall-clock seconds to wait for process execution before terminating
-        the pool and raising ``RuntimeError`` — a deadlocked worker fails
-        fast instead of hanging the job (thread execution runs in-process
-        and cannot be forcibly cancelled; guard it externally).
+        Job-level deadline in wall-clock seconds, enforced on **every**
+        execution mode: process shards are terminated at the deadline;
+        thread shards check a cooperative deadline at stage boundaries and
+        are abandoned (with a ``RuntimeWarning``) if they blow past it.
+        Without ``allow_partial`` the job raises
+        :class:`~repro.resilience.errors.JobDeadlineExceeded`.
+    shard_timeout:
+        Per-shard-attempt wall-clock budget; a shard that exceeds it is
+        killed (process) or abandoned (thread) and retried.
+    max_retries:
+        Re-executions allowed per shard before the job fails (default 2).
+        Ignored when ``retry_policy`` is given.
+    retry_policy:
+        Full :class:`~repro.resilience.supervisor.RetryPolicy` (backoff
+        base/factor/cap, deterministic jitter) when the default shape is
+        not right.
+    allow_partial:
+        On deadline expiry or a shard exhausting its retries, return the
+        shards that *did* complete (``report.degraded=True``) instead of
+        raising.  The merged partial answer is still an unbiased HT
+        estimate — just wider.
+    fault_plan:
+        Deterministic :class:`~repro.resilience.faults.FaultPlan` threaded
+        into every shard execution (tests/chaos runs); ``None`` defers to
+        the ``REPRO_FAULT_RATE`` environment harness.
     max_epoch_restarts:
         How many times a job may be discarded and re-run because a mutation
         epoch bump was observed mid-flight.
@@ -124,20 +186,41 @@ class ParallelSamplerPool:
         start_method: str = "spawn",
         job_timeout: Optional[float] = None,
         max_epoch_restarts: int = 3,
+        shard_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        allow_partial: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if execution not in EXECUTION_MODES:
             raise ValueError(f"execution must be one of {EXECUTION_MODES}, got {execution!r}")
+        if job_timeout is not None and job_timeout < 0:
+            raise ValueError(f"job_timeout must be non-negative, got {job_timeout}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(f"shard_timeout must be positive, got {shard_timeout}")
         self.workers = int(workers) if workers is not None else (os.cpu_count() or 1)
         self.execution = execution
         self.start_method = start_method
         self.job_timeout = job_timeout
         self.max_epoch_restarts = max_epoch_restarts
+        self.shard_timeout = shard_timeout
+        if retry_policy is not None:
+            self.retry_policy = retry_policy
+        elif max_retries is not None:
+            self.retry_policy = RetryPolicy(max_retries=int(max_retries))
+        else:
+            self.retry_policy = RetryPolicy()
+        self.allow_partial = allow_partial
+        self.fault_plan = fault_plan
         self.epochs_restarted = 0
+        #: lifetime supervision counters of this pool (all runs, all epochs)
+        self.stats = SupervisionStats()
         #: execution mode of the most recent run() (resolving "auto" pickles
         #: the tasks, so it is done once per run and remembered for reports)
         self._last_execution: Optional[str] = None
+        self._last_outcome: Optional[SupervisedOutcome] = None
 
     # ------------------------------------------------------------------- plan
     def plan_tasks(
@@ -188,16 +271,45 @@ class ParallelSamplerPool:
 
     # -------------------------------------------------------------------- run
     def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
-        """Execute the shard tasks; results come back in shard-id order."""
+        """Execute the shard tasks under supervision, in shard-id order.
+
+        Each shard is dispatched individually with per-shard timeouts,
+        bounded retries, and the degradation ladder; see
+        :class:`~repro.resilience.supervisor.ShardSupervisor`.  Failures
+        that survive the retry budget re-raise with shard attribution
+        (unless the pool was built with ``allow_partial=True``, in which
+        case the completed shards come back and the missing ones are
+        recorded on the run report).
+        """
         if not tasks:
+            self._last_outcome = None
             return []
         execution = self._resolve_execution(tasks)
         self._last_execution = execution
-        if execution == "process":
-            results = self._run_processes(tasks)
-        else:
-            results = self._run_threads(tasks)
-        return sorted(results, key=lambda r: r.shard_id)
+        rung = execution
+        if execution == "thread" and (self.workers == 1 or len(tasks) == 1):
+            # Single-worker thread jobs gain nothing from the executor: run
+            # inline, the same fast path the pre-resilience pool had.
+            rung = "inline"
+        supervisor = ShardSupervisor(
+            tasks,
+            execution=rung,
+            workers=self.workers,
+            policy=self.retry_policy,
+            shard_timeout=self.shard_timeout,
+            deadline=self.job_timeout,
+            allow_partial=self.allow_partial,
+            fault_plan=self.fault_plan,
+            start_method=self.start_method,
+        )
+        try:
+            outcome = supervisor.run()
+        finally:
+            # Supervision counters survive a raising run — a PoisonShardError
+            # still leaves its attempts/retries on ``self.stats``.
+            self.stats.merge(supervisor.stats)
+        self._last_outcome = outcome
+        return outcome.results
 
     def sample(
         self,
@@ -315,36 +427,6 @@ class ParallelSamplerPool:
             return "thread"
         return "process"
 
-    def _run_threads(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
-        if self.workers == 1 or len(tasks) == 1:
-            return [run_shard(task) for task in tasks]
-        with ThreadPoolExecutor(max_workers=min(self.workers, len(tasks))) as executor:
-            return list(executor.map(run_shard, tasks))
-
-    def _run_processes(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
-        import multiprocessing as mp
-
-        context = mp.get_context(self.start_method)
-        processes = min(self.workers, len(tasks))
-        pool = context.Pool(processes=processes)
-        try:
-            async_result = pool.map_async(run_shard, tasks, chunksize=1)
-            try:
-                results = async_result.get(timeout=self.job_timeout)
-            except mp.TimeoutError:
-                pool.terminate()
-                raise RuntimeError(
-                    f"parallel job timed out after {self.job_timeout}s "
-                    f"({len(tasks)} shards on {processes} workers); pool terminated"
-                ) from None
-            pool.close()
-        except Exception:
-            pool.terminate()
-            raise
-        finally:
-            pool.join()
-        return results
-
     def _run_with_epoch_guard(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
         """Run the job, discarding and restarting on mutation epoch bumps."""
         queries = tasks[0].queries
@@ -370,7 +452,7 @@ class ParallelSamplerPool:
     def _base_report(
         self, tasks: Sequence[ShardTask], results: Sequence[ShardResult]
     ) -> ParallelRunReport:
-        return ParallelRunReport(
+        report = ParallelRunReport(
             backend=tasks[0].backend,
             execution=self._last_execution or self._resolve_execution(tasks),
             workers=self.workers,
@@ -383,6 +465,24 @@ class ParallelSamplerPool:
                 for r in results
             ],
         )
+        outcome = self._last_outcome
+        if outcome is not None:
+            stats = outcome.stats
+            report.retries = stats.retries
+            report.shard_timeouts = stats.shard_timeouts
+            report.shard_crashes = stats.shard_crashes
+            report.corrupt_results = stats.corrupt_results
+            report.poison_shards = stats.poison_shards
+            report.degradations = stats.degradations
+            report.planned_shards = outcome.planned
+            report.completed_shards = len(outcome.results)
+            report.failed_shards = sorted(f.shard_id for f in outcome.failures)
+            report.degraded = outcome.degraded
+            report.deadline_hit = outcome.deadline_hit
+        else:
+            report.planned_shards = len(tasks)
+            report.completed_shards = len(results)
+        return report
 
 
 def _tasks_picklable(tasks: Sequence[ShardTask]) -> bool:
@@ -420,10 +520,22 @@ def parallel_sample(
     method: str = "auto",
     execution: str = "auto",
     job_timeout: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    allow_partial: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
     max_attempts: int = 1_000_000,
 ) -> ParallelRunReport:
     """One-shot parallel sampling: plan shards, fan out, merge in shard order."""
-    pool = ParallelSamplerPool(workers=workers, execution=execution, job_timeout=job_timeout)
+    pool = ParallelSamplerPool(
+        workers=workers,
+        execution=execution,
+        job_timeout=job_timeout,
+        shard_timeout=shard_timeout,
+        max_retries=max_retries,
+        allow_partial=allow_partial,
+        fault_plan=fault_plan,
+    )
     return pool.sample(
         queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
     )
@@ -440,6 +552,10 @@ def parallel_aggregate(
     method: str = "auto",
     execution: str = "auto",
     job_timeout: Optional[float] = None,
+    shard_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    allow_partial: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
     max_attempts: int = 1_000_000,
     confidence: float = 0.95,
     ci_method: str = "clt",
@@ -448,10 +564,23 @@ def parallel_aggregate(
 
     Bit-identical to running the same shard plan sequentially: the partial
     accumulators merge through the exactly-rounded merge law, so the report
-    does not depend on worker count, execution backend, or arrival order.
+    does not depend on worker count, execution backend, arrival order — or
+    on how many times shards were retried or degraded along the way.
+
+    Under ``allow_partial``, a deadline-hit or failed-shard job returns the
+    merge of the completed shards with ``degraded=True`` on the report: an
+    unbiased estimate over fewer samples, hence a wider interval.
     """
-    pool = ParallelSamplerPool(workers=workers, execution=execution, job_timeout=job_timeout)
-    report = pool.aggregate(
+    pool = ParallelSamplerPool(
+        workers=workers,
+        execution=execution,
+        job_timeout=job_timeout,
+        shard_timeout=shard_timeout,
+        max_retries=max_retries,
+        allow_partial=allow_partial,
+        fault_plan=fault_plan,
+    )
+    run = pool.aggregate(
         queries,
         spec,
         count,
@@ -460,17 +589,39 @@ def parallel_aggregate(
         shards=shards,
         max_attempts=max_attempts,
     )
-    assert report.accumulator is not None
-    return report.accumulator.estimate(confidence=confidence, ci_method=ci_method)
+    assert run.accumulator is not None
+    report = run.accumulator.estimate(confidence=confidence, ci_method=ci_method)
+    report.degraded = run.degraded
+    report.completed_shards = run.completed_shards
+    report.planned_shards = run.planned_shards
+    return report
+
+
+#: Retry bound of ``sequential_reference``: the oracle must survive the
+#: ``REPRO_FAULT_RATE`` chaos harness too (transient injected faults get
+#: retried; anything else propagates).
+_REFERENCE_MAX_ATTEMPTS = 16
 
 
 def sequential_reference(tasks: Sequence[ShardTask]) -> List[ShardResult]:
     """Run a shard plan in a plain in-process loop (the determinism oracle).
 
     Benchmarks and tests compare the parallel service's merged answers
-    against this reference to prove bit-identical fan-out/merge.
+    against this reference to prove bit-identical fan-out/merge.  Under the
+    environment fault harness the reference retries transiently injected
+    faults (payloads are attempt-invariant, so retrying cannot change the
+    oracle's answer); real exceptions propagate untouched.
     """
-    return [run_shard(task) for task in tasks]
+    results = []
+    for task in tasks:
+        for attempt in range(_REFERENCE_MAX_ATTEMPTS):
+            try:
+                results.append(run_shard(task, attempt))
+                break
+            except InjectedFault:
+                if attempt == _REFERENCE_MAX_ATTEMPTS - 1:
+                    raise
+    return results
 
 
 __all__ = [

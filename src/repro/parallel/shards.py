@@ -21,6 +21,8 @@ imports this module inside the worker and looks the function up by name.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,6 +30,12 @@ import numpy as np
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateSpec
 from repro.joins.query import JoinQuery
+from repro.resilience.faults import (
+    FaultPlan,
+    apply_pre_fault,
+    fault_plan_from_env,
+    in_worker_process,
+)
 from repro.sampling.blocks import SampleBlock
 
 #: Backends a shard can run.  ``wander-join`` is aggregate-only (its walks
@@ -109,6 +117,37 @@ class ShardResult:
     #: per-relation version counters observed when the shard started, used by
     #: the coordinator's epoch guard (thread workers share live relations)
     db_versions: Tuple[int, ...] = ()
+    #: supervisor attempt that produced this result (0 = first try); echoes
+    #: back so late results of abandoned attempts are recognizable
+    worker_attempt: int = 0
+    #: blake2b digest over the payload, computed by the worker just before
+    #: hand-off and re-verified by the coordinator before merging; ``None``
+    #: when the payload is unpicklable (lambda predicates) and the check is
+    #: skipped
+    checksum: Optional[str] = None
+
+    def fingerprint(self) -> Optional[str]:
+        """Digest of the merge-relevant payload, or ``None`` if unpicklable."""
+        payload = (
+            self.shard_id,
+            self.attempts,
+            self.accepted,
+            self.db_versions,
+            self.accumulator,
+            self.block,
+            self.values,
+            self.sources,
+        )
+        try:
+            raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return None
+        return hashlib.blake2b(raw, digest_size=16).hexdigest()
+
+    def seal(self) -> "ShardResult":
+        """Stamp the integrity checksum (the worker's last act)."""
+        self.checksum = self.fingerprint()
+        return self
 
 
 def observed_versions(queries: Tuple[JoinQuery, ...]) -> Tuple[int, ...]:
@@ -119,28 +158,114 @@ def observed_versions(queries: Tuple[JoinQuery, ...]) -> Tuple[int, ...]:
     return tuple(versions)
 
 
-def run_shard(task: ShardTask) -> ShardResult:
+def run_shard(
+    task: ShardTask,
+    attempt: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+    deadline: Optional[object] = None,
+    seal: Optional[bool] = None,
+) -> ShardResult:
     """Execute one shard; the worker entry point for threads and processes.
 
     The draw stream depends only on ``task.seed`` and the relation contents,
     so thread and process execution of the same task return identical
-    results.
+    results — and so does a *retry*: ``attempt`` feeds only the
+    fault-injection harness and supervisor bookkeeping, never the sampler
+    RNG, which is what makes a re-executed shard bit-identical to the run
+    that failed.
+
+    ``fault_plan`` threads the deterministic fault harness into the worker
+    (``None`` falls back to the ``REPRO_FAULT_RATE`` environment harness;
+    pass :data:`repro.resilience.faults.NO_FAULTS` to opt out explicitly).
+    ``deadline`` is an optional cooperative-deadline object whose ``check()``
+    raises when the in-process (thread/inline) time budget is spent; it is
+    consulted at stage boundaries since a thread cannot be forcibly killed.
+    ``seal`` controls the integrity checksum (an extra pickle of the
+    payload): ``None`` stamps it only where it can catch anything — inside a
+    spawned worker, whose result crosses a pipe, or under an active fault
+    action — so the in-process fast path pays nothing for it.
     """
+    if fault_plan is None:
+        fault_plan = fault_plan_from_env()
+    action = fault_plan.action_for(task.shard_id, attempt) if fault_plan else None
+    if deadline is not None:
+        deadline.check("shard start")
+    apply_pre_fault(action, task.shard_id, attempt)
     rng = np.random.default_rng(task.seed)
-    result = ShardResult(shard_id=task.shard_id, db_versions=observed_versions(task.queries))
+    result = ShardResult(
+        shard_id=task.shard_id,
+        db_versions=observed_versions(task.queries),
+        worker_attempt=attempt,
+    )
     if task.count == 0:
         if task.spec is not None:
             result.accumulator = AggregateAccumulator(
                 task.spec, task.queries[0].output_schema
             )
-        return result
+        return _finish_shard(result, action, deadline, seal)
     if task.backend == "online-union":
         _run_union_shard(task, rng, result)
     elif task.backend == "wander-join":
         _run_wander_shard(task, rng, result)
     else:
         _run_join_shard(task, rng, result)
+    return _finish_shard(result, action, deadline, seal)
+
+
+def _finish_shard(result: ShardResult, action, deadline, seal) -> ShardResult:
+    """Seal the result; apply a ``corrupt`` fault *after* the checksum."""
+    if deadline is not None:
+        deadline.check("shard finish")
+    if seal is None:
+        # Auto: the checksum guards the pipe back from a spawned worker and
+        # the fault harness's corrupt faults.  A thread/inline result never
+        # leaves the coordinator's address space, so sealing it would only
+        # tax the fault-free fast path with an extra pickle of the payload.
+        seal = in_worker_process() or action is not None
+    if seal:
+        result.seal()
+    if action is not None and action.kind == "corrupt":
+        # Simulated transport/memory corruption: the payload mutates after
+        # the worker stamped its checksum, so the coordinator's pre-merge
+        # integrity check must reject this result.
+        result.attempts += 1
+        result.accepted += 1
     return result
+
+
+def verify_shard_result(
+    task: ShardTask,
+    result: ShardResult,
+    expected_versions: Optional[Tuple[int, ...]] = None,
+) -> Optional[str]:
+    """Pre-merge integrity check; returns a problem description or ``None``.
+
+    Three layers: the **shard-id echo** (the result must answer the task it
+    was dispatched for), the **epoch echo** (the result must describe the
+    database snapshot the coordinator planned against — a mismatch while the
+    live relations still show the planned versions can only be corruption;
+    a mismatch *with* a live version bump is a genuine mutation epoch and is
+    left to the pool's epoch guard), and the **payload checksum** (the
+    worker's sealed digest must reproduce on the coordinator's side).
+    Unpicklable payloads (lambda predicates) carry no checksum; the cheaper
+    echoes still apply.
+    """
+    if result.shard_id != task.shard_id:
+        return (
+            f"shard-id echo mismatch: task {task.shard_id} received a result "
+            f"claiming shard {result.shard_id}"
+        )
+    if result.checksum is not None and result.fingerprint() != result.checksum:
+        return "payload checksum mismatch: result corrupted in flight"
+    if expected_versions is not None and result.db_versions != expected_versions:
+        if observed_versions(task.queries) == expected_versions:
+            return (
+                f"epoch echo mismatch: result claims snapshot {result.db_versions}, "
+                f"coordinator planned {expected_versions} and the live relations "
+                "still match the plan"
+            )
+        return None  # genuine mid-flight mutation: the epoch guard restarts
+    return None
 
 
 def _run_join_shard(task: ShardTask, rng: np.random.Generator, result: ShardResult) -> None:
@@ -221,4 +346,11 @@ def _run_union_shard(task: ShardTask, rng: np.random.Generator, result: ShardRes
         result.accepted = len(sample_result.samples)
 
 
-__all__ = ["SHARD_BACKENDS", "ShardTask", "ShardResult", "observed_versions", "run_shard"]
+__all__ = [
+    "SHARD_BACKENDS",
+    "ShardTask",
+    "ShardResult",
+    "observed_versions",
+    "run_shard",
+    "verify_shard_result",
+]

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the parallel sampling service.
+
+Chaos testing is only trustworthy when it is **replayable**: a fault that
+appears in one run and not the next turns every failure into a heisenbug.
+This module therefore derives every injection decision from a fixed key —
+``(plan seed, shard id, attempt)`` — through
+:func:`repro.utils.rng.keyed_rng`, so a :class:`FaultPlan` produces the exact
+same faults no matter which worker executes a shard, in which order, on which
+platform, or how often the run is repeated.
+
+A plan can be **scripted** (an explicit ``{(shard_id, attempt): FaultAction}``
+map, for unit tests that need one precise failure) or **rate-based** (every
+``(shard_id, attempt)`` pair faults independently with probability ``rate``,
+for chaos sweeps).  Scripted entries win over the rate draw.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``"raise"``
+    The worker raises :class:`InjectedFault` before sampling — a transient
+    crash.  The default message embeds the shard id *and attempt*, so two
+    consecutive rate-based faults on one shard never look identical and are
+    never misclassified as a poison shard; scripted faults may pass an
+    explicit ``message`` to *construct* a poison shard (identical signature
+    on every attempt).
+``"sleep"``
+    The worker sleeps ``duration`` seconds before sampling — a hung shard,
+    caught by the per-shard timeout.
+``"kill"``
+    The worker process hard-exits via ``os._exit`` — no exception, no
+    result, just a dead process.  Only meaningful in a spawned worker;
+    when injected into a thread or inline shard (where ``os._exit`` would
+    take down the whole interpreter) it degrades to ``"raise"``.
+``"corrupt"``
+    The shard completes but its result payload is mutated *after* the
+    integrity checksum was computed, simulating transport/memory corruption;
+    the coordinator's pre-merge integrity check rejects it.
+
+The environment harness (:func:`fault_plan_from_env`) lets CI run an entire
+test suite under injection without touching call sites: when
+``REPRO_FAULT_RATE`` is set, :func:`repro.parallel.shards.run_shard` builds a
+rate-based plan from ``REPRO_FAULT_RATE`` / ``REPRO_FAULT_SEED`` /
+``REPRO_FAULT_KINDS`` for any call that did not pass an explicit plan.  Pass
+:data:`NO_FAULTS` to opt a specific run out even under the env harness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.utils.rng import keyed_rng
+
+FAULT_KINDS = ("raise", "sleep", "kill", "corrupt")
+
+#: Fault kinds applied *before* the shard samples (vs. ``corrupt``, applied
+#: to the finished result).
+PRE_FAULT_KINDS = ("raise", "sleep", "kill")
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``"raise"`` fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One concrete fault to perform in a worker.
+
+    ``duration`` is the sleep length for ``"sleep"``; ``message`` overrides
+    the default :class:`InjectedFault` text for ``"raise"`` (pass the same
+    message on consecutive attempts to script a poison shard).
+    """
+
+    kind: str
+    duration: float = 0.05
+    message: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, got {self.kind!r}")
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, picklable description of which shard attempts fault.
+
+    Attributes
+    ----------
+    seed:
+        Root of the injection keys; with everything else fixed, one seed is
+        one exact fault pattern.
+    rate:
+        Independent fault probability per ``(shard_id, attempt)`` pair
+        (``0.0`` disables the random component).
+    kinds:
+        Fault kinds the rate-based draw chooses among, uniformly.
+    sleep_duration:
+        Sleep length used by rate-drawn ``"sleep"`` faults.
+    scripted:
+        Explicit ``(shard_id, attempt) -> FaultAction`` map; wins over the
+        rate draw.
+    """
+
+    seed: int = 0
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = ("raise",)
+    sleep_duration: float = 0.05
+    scripted: Mapping[Tuple[int, int], FaultAction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+        for (shard_id, attempt), action in self.scripted.items():
+            if shard_id < 0 or attempt < 0:
+                raise ValueError("scripted keys are (shard_id >= 0, attempt >= 0)")
+            if not isinstance(action, FaultAction):
+                raise ValueError("scripted values must be FaultAction instances")
+
+    def action_for(self, shard_id: int, attempt: int) -> Optional[FaultAction]:
+        """The fault this plan injects for one shard attempt, or ``None``.
+
+        Pure function of ``(self.seed, shard_id, attempt)`` — execution
+        order, worker identity, and wall clock never enter the decision.
+        """
+        scripted = self.scripted.get((int(shard_id), int(attempt)))
+        if scripted is not None:
+            return scripted
+        if self.rate <= 0.0 or not self.kinds:
+            return None
+        rng = keyed_rng(self.seed, int(shard_id), int(attempt))
+        if rng.random() >= self.rate:
+            return None
+        kind = self.kinds[int(rng.integers(0, len(self.kinds)))]
+        return FaultAction(kind=kind, duration=self.sleep_duration)
+
+    def is_noop(self) -> bool:
+        return self.rate <= 0.0 and not self.scripted
+
+
+#: Explicit "inject nothing" plan: passing it disables even the
+#: ``REPRO_FAULT_RATE`` environment harness for that run.
+NO_FAULTS = FaultPlan()
+
+
+def fault_plan_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[FaultPlan]:
+    """Build the CI chaos plan from ``REPRO_FAULT_*`` variables, if set.
+
+    ``REPRO_FAULT_RATE`` (float, required to enable), ``REPRO_FAULT_SEED``
+    (int, default 2023), ``REPRO_FAULT_KINDS`` (comma list, default
+    ``raise`` — the one kind that is safe to spray across a whole test
+    suite: sleeps need timeouts configured and kills need process rungs).
+    Returns ``None`` when injection is not enabled.
+    """
+    env = os.environ if environ is None else environ
+    raw_rate = env.get("REPRO_FAULT_RATE", "").strip()
+    if not raw_rate:
+        return None
+    rate = float(raw_rate)
+    if rate <= 0.0:
+        return None
+    seed = int(env.get("REPRO_FAULT_SEED", "2023"))
+    kinds = tuple(
+        k.strip() for k in env.get("REPRO_FAULT_KINDS", "raise").split(",") if k.strip()
+    )
+    return FaultPlan(seed=seed, rate=rate, kinds=kinds)
+
+
+def in_worker_process() -> bool:
+    """True when running inside a spawned/forked child process."""
+    return multiprocessing.parent_process() is not None
+
+
+def apply_pre_fault(action: Optional[FaultAction], shard_id: int, attempt: int) -> None:
+    """Perform a pre-sampling fault inside the worker.
+
+    ``"kill"`` outside a child process degrades to ``"raise"``: calling
+    ``os._exit`` on the coordinator's interpreter would turn a simulated
+    worker death into a real coordinator death.
+    """
+    if action is None or action.kind not in PRE_FAULT_KINDS:
+        return
+    if action.kind == "sleep":
+        time.sleep(action.duration)
+        return
+    if action.kind == "kill" and in_worker_process():
+        os._exit(KILL_EXIT_CODE)
+    message = action.message or (
+        f"injected fault (shard {shard_id}, attempt {attempt + 1})"
+    )
+    raise InjectedFault(message)
+
+
+#: Exit code a ``"kill"`` fault dies with — distinctive in crash reports.
+KILL_EXIT_CODE = 117
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "KILL_EXIT_CODE",
+    "NO_FAULTS",
+    "PRE_FAULT_KINDS",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "apply_pre_fault",
+    "fault_plan_from_env",
+    "in_worker_process",
+]

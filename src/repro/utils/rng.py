@@ -99,6 +99,25 @@ def shard_seed_sequences(seed: RandomState, count: int) -> list[np.random.SeedSe
     return list(np.random.SeedSequence(seed).spawn(count))
 
 
+def keyed_rng(seed: int, *key: int) -> np.random.Generator:
+    """Deterministic generator for a hierarchical ``(seed, k1, k2, ...)`` key.
+
+    The stream depends only on the root seed and the key — never on call
+    order — which is what lets the fault-injection harness and the retry
+    backoff jitter stay deterministic no matter which worker, thread, or
+    retry attempt asks first.  Keys must be non-negative integers (shard
+    ids, attempt counters); the root seed is masked into the non-negative
+    range ``SeedSequence`` requires.
+    """
+    parts = [int(seed) & (2**63 - 1)]
+    for k in key:
+        k = int(k)
+        if k < 0:
+            raise ValueError(f"key components must be non-negative, got {k}")
+        parts.append(k)
+    return np.random.default_rng(np.random.SeedSequence(parts))
+
+
 def weighted_choice(
     rng: np.random.Generator,
     items: Sequence,
@@ -174,6 +193,7 @@ class BatchedCategorical:
 __all__ = [
     "RandomState",
     "ensure_rng",
+    "keyed_rng",
     "spawn_rngs",
     "shard_seed_sequences",
     "weighted_choice",

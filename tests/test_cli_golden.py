@@ -97,7 +97,40 @@ CASES = {
     "cli_err_unknown_join_name.json": [
         "aggregate", "--workload", "UQ1", "--query", "NOPE", *COMMON,
     ],
+    # ------------------------------------------------- resilience / deadlines
+    # A zero deadline is the deterministic way to pin the deadline-exceeded
+    # paths: no shard/step can complete, so the output never depends on
+    # machine speed.  Exit code 3 = "ran out of time" (vs 1 = "cannot run").
+    "cli_err_aggregate_deadline_exceeded.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.1",
+        "--deadline", "0", *COMMON,
+    ],
+    "cli_err_sample_deadline_exceeded.json": [
+        "sample", "--workload", "UQ1", "--samples", "12",
+        "--workers", "2", "--deadline", "0", *COMMON,
+    ],
+    "cli_err_sample_resilience_flags_without_workers.json": [
+        "sample", "--workload", "UQ1", "--deadline", "5",
+        "--shard-timeout", "1", *COMMON,
+    ],
+    "cli_aggregate_allow_partial.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.1",
+        "--deadline", "0", "--allow-partial", "--json", *COMMON,
+    ],
+    "cli_sample_parallel_partial.json": [
+        "sample", "--workload", "UQ1", "--samples", "12",
+        "--workers", "2", "--deadline", "0", "--allow-partial", *COMMON,
+    ],
 }
+
+#: Deadline-exceeded cases exit with the dedicated code 3, so schedulers can
+#: distinguish "give it more time / --allow-partial" from hard failures.
+DEADLINE_CASES = (
+    "cli_err_aggregate_deadline_exceeded.json",
+    "cli_err_sample_deadline_exceeded.json",
+)
 
 
 def _normalize(output: str) -> List[str]:
@@ -130,6 +163,12 @@ def test_cli_golden(name, capsys):
         assert observed["stderr"][0].startswith("error: ")
     else:
         assert observed["exit_code"] == 0
+    if name in DEADLINE_CASES:
+        assert observed["exit_code"] == 3, "deadline failures use exit code 3"
+    if name == "cli_aggregate_allow_partial.json":
+        payload = json.loads("\n".join(observed["lines"]))
+        assert payload["report"]["degraded"] is True
+        assert "achieved_rel_error" in payload["report"]
 
     path = GOLDEN_DIR / name
     if UPDATE_GOLDENS:

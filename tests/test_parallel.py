@@ -25,6 +25,7 @@ from repro.parallel import (
     sequential_reference,
 )
 from repro.relational.relation import Relation
+from repro.resilience import NO_FAULTS
 
 
 def make_chain(name="chain", rows_r=None, rows_s=None) -> JoinQuery:
@@ -230,7 +231,9 @@ class TestShardWorker:
         task = ParallelSamplerPool().plan_tasks(
             make_chain(), 0, seed=0, spec=SPEC_SUM, shards=1
         )[0]
-        result = run_shard(task)
+        # Unit test of the worker entry point: no supervisor above it to
+        # retry, so opt out of the REPRO_FAULT_RATE chaos harness explicitly.
+        result = run_shard(task, fault_plan=NO_FAULTS)
         assert result.accumulator is not None
         assert result.accumulator.attempts == 0
 
