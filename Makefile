@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-updates bench-full profile
+.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-server bench-updates bench-full profile serve
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -37,6 +37,16 @@ bench-resilience:
 # RF1/RF2 refresh stream): writes BENCH_updates.json at the root.
 bench-updates:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_updates.py
+
+# Server load benchmark (p50/p99 latency + qps at 1/4/16 concurrent clients,
+# bit-identical-to-sequential hard gate): writes BENCH_server.json at the
+# root (see docs/server.md).
+bench-server:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_server.py
+
+# Run the sampling server on the default port (see docs/server.md).
+serve:
+	PYTHONPATH=$(PYTHONPATH) python -m repro serve
 
 # Full pytest-benchmark harness (paper figures + micro benchmarks).
 bench-full:

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Benchmark the sampling server: latency/throughput under concurrent load.
+
+A load generator drives the real JSON-over-HTTP stack (one
+:class:`~repro.server.service.SamplingService` behind
+:class:`~repro.server.http.SamplingHTTPServer`) with a fixed request mix —
+warm single-join samples, warm online aggregates, and pool-routed union
+samples — at 1, 4, and 16 concurrent clients, and reports p50/p99 request
+latency and aggregate qps per level.
+
+The pass/fail gate is not speed but **purity**: every response under every
+concurrency level must be bit-identical to the same request served
+sequentially (the level-1 pass is the reference).  A response is a pure
+function of ``(request, snapshot)``; if concurrency can change so much as a
+confidence bound, the server is broken no matter how fast it is.
+
+Results are written to ``BENCH_server.json`` at the repository root.
+
+Run via ``make bench-server`` or::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from common import machine_info, write_report
+
+from repro.server import SamplingService, ServerClient, start_server  # noqa: E402
+from repro.tpch.workloads import build_uq1  # noqa: E402
+
+CLIENT_LEVELS = (1, 4, 16)
+
+
+def build_requests(query_names, quick: bool):
+    """The fixed request mix; every request is fully seeded (purity gate)."""
+    total = 18 if quick else 60
+    sample_count = 40 if quick else 150
+    union_count = 24 if quick else 80
+    requests = []
+    for i in range(total):
+        name = query_names[i % len(query_names)]
+        if i % 4 == 3:
+            requests.append({
+                "kind": "aggregate", "query": name, "aggregate": "sum",
+                "attribute": "totalprice", "rel_error": 0.3,
+                "method": "exact-weight", "seed": 1000 + i,
+            })
+        elif i % 8 == 5:
+            requests.append({
+                "kind": "sample", "query": "union", "count": union_count,
+                "seed": 1000 + i,
+            })
+        else:
+            requests.append({
+                "kind": "sample", "query": name, "count": sample_count,
+                "seed": 1000 + i,
+            })
+    return requests
+
+
+def run_level(port: int, requests, clients: int):
+    """Drive all requests through ``clients`` concurrent connections."""
+    latencies = [0.0] * len(requests)
+    responses = [None] * len(requests)
+    errors = []
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker():
+        client = ServerClient(port=port)
+        while True:
+            with lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    return
+                cursor["next"] += 1
+            started = time.perf_counter()
+            try:
+                responses[index] = client.call(requests[index])
+            except Exception as error:  # noqa: BLE001 - reported in the gate
+                errors.append((index, repr(error)))
+            latencies[index] = time.perf_counter() - started
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    wall_started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_started
+    return latencies, responses, errors, wall
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    index = min(int(round(fraction * (len(sorted_values) - 1))),
+                len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller request mix (CI smoke)")
+    args = parser.parse_args()
+
+    workload = build_uq1(scale_factor=0.001, overlap_scale=0.3, seed=2023)
+    warm_started = time.perf_counter()
+    service = SamplingService(workload=workload)
+    warm_seconds = time.perf_counter() - warm_started
+    server, _thread = start_server(service, port=0)
+    requests = build_requests(workload.query_names, args.quick)
+
+    report = {
+        **machine_info(),
+        "workload": workload.name,
+        "quick": bool(args.quick),
+        "requests_per_level": len(requests),
+        "warm_startup_seconds": round(warm_seconds, 4),
+        "note": (
+            "bit-identical is the pass/fail gate: every response at every "
+            "client count must equal the sequential (1-client) reference"
+        ),
+        "levels": [],
+    }
+
+    reference = None
+    all_identical = True
+    try:
+        for clients in CLIENT_LEVELS:
+            latencies, responses, errors, wall = run_level(
+                server.port, requests, clients
+            )
+            if errors:
+                print(f"request errors at {clients} clients: {errors[:3]}",
+                      file=sys.stderr)
+                all_identical = False
+            if reference is None:
+                reference = responses
+                identical = True
+            else:
+                identical = responses == reference
+            all_identical = all_identical and identical
+            ordered = sorted(latencies)
+            report["levels"].append({
+                "clients": clients,
+                "requests": len(requests),
+                "errors": len(errors),
+                "p50_latency_ms": round(percentile(ordered, 0.50) * 1e3, 3),
+                "p99_latency_ms": round(percentile(ordered, 0.99) * 1e3, 3),
+                "qps": round(len(requests) / wall, 2),
+                "wall_seconds": round(wall, 4),
+                "bit_identical_to_sequential": identical,
+            })
+        stats = service.handle({"kind": "stats"})["result"]
+        report["server_counters"] = stats["counters"]
+        report["admission"] = stats["admission"]
+    finally:
+        server.shutdown()
+        service.close()
+
+    report["all_bit_identical"] = all_identical
+    write_report("BENCH_server.json", report)
+    return 0 if all_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

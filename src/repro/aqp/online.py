@@ -16,11 +16,12 @@ mutation remain valid for the snapshot they were computed on.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.resilience.errors import JobDeadlineExceeded
+from repro.resilience.errors import EmptyResultError, JobDeadlineExceeded
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
 from repro.aqp.planner import (
@@ -81,6 +82,7 @@ class OnlineAggregator:
         union_sampler: Optional[object] = None,
         bootstrap_replicates: int = 200,
         parallelism: int = 1,
+        join_sampler: Optional[JoinSampler] = None,
     ) -> None:
         if isinstance(queries, JoinQuery):
             queries = [queries]
@@ -174,14 +176,34 @@ class OnlineAggregator:
             else:
                 self._walker = WanderJoin(self.queries[0], seed=sampler_rng)
         else:
-            self._join_sampler = JoinSampler(
-                self.queries[0],
-                weights=self.plan.weights or "ew",
-                seed=sampler_rng,
-                max_batch_size=max(self.batch_size, 1),
-                parallelism=self.parallelism,
+            if join_sampler is not None:
+                if self.parallelism > 1:
+                    raise ValueError(
+                        "a prebuilt join_sampler carries its own parallelism; "
+                        "drop join_sampler= or set parallelism=1"
+                    )
+                # Warm server path: reuse a (possibly structure-sharing)
+                # sampler instead of rebuilding weights and alias tables.
+                join_sampler.refresh()
+                self._join_sampler = join_sampler
+            else:
+                self._join_sampler = JoinSampler(
+                    self.queries[0],
+                    weights=self.plan.weights or "ew",
+                    seed=sampler_rng,
+                    max_batch_size=max(self.batch_size, 1),
+                    parallelism=self.parallelism,
+                )
+        if join_sampler is not None and self.backend in ("online-union", "wander-join"):
+            raise ValueError(
+                f"join_sampler= only applies to JoinSampler backends, not "
+                f"{self.backend!r}"
             )
         self._db_versions = self._current_versions()
+        # One aggregator may serve concurrent callers (the server's shared
+        # path): the lock serializes step/estimate, so interleaved runs see
+        # consistent accumulator state at step granularity.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ public
     @property
@@ -194,23 +216,25 @@ class OnlineAggregator:
         size = int(batch_size or self.batch_size)
         if size <= 0:
             raise ValueError("batch_size must be positive")
-        self._sync_epoch()
-        if self.backend == "online-union":
-            self._step_union(size)
-        elif self.backend == "wander-join":
-            self._step_wander(size)
-        else:
-            self._step_join(size)
-        return self.estimate()
+        with self._lock:
+            self._sync_epoch()
+            if self.backend == "online-union":
+                self._step_union(size)
+            elif self.backend == "wander-join":
+                self._step_wander(size)
+            else:
+                self._step_join(size)
+            return self.estimate()
 
     def estimate(self) -> AggregateReport:
         """Current estimates without drawing further samples."""
-        return self.accumulator.estimate(
-            confidence=self.confidence,
-            ci_method=self.ci_method,
-            bootstrap_replicates=self.bootstrap_replicates,
-            seed=self._ci_rng,
-        )
+        with self._lock:
+            return self.accumulator.estimate(
+                confidence=self.confidence,
+                ci_method=self.ci_method,
+                bootstrap_replicates=self.bootstrap_replicates,
+                seed=self._ci_rng,
+            )
 
     def until(
         self,
@@ -236,7 +260,13 @@ class OnlineAggregator:
         ``allow_partial=True`` the current estimate comes back instead,
         marked ``degraded=True`` — an unbiased answer whose *achieved*
         relative error (``report.max_relative_half_width()``) is simply
-        wider than the one requested.
+        wider than the one requested.  A partial return requires at least
+        one accepted sample: if the budget expires before anything is
+        accepted there is no honest estimate to degrade to (the all-rejected
+        accumulator would report a zero-width CI around 0.0, and
+        ``achieved_rel_error`` would be 0/0), so
+        :class:`~repro.resilience.errors.EmptyResultError` is raised
+        instead.
         """
         if rel_error <= 0:
             raise ValueError("rel_error must be positive")
@@ -255,8 +285,7 @@ class OnlineAggregator:
         while not self._converged(report, rel_error, min_accepted):
             if deadline_at is not None and time.monotonic() >= deadline_at:
                 if allow_partial:
-                    report.degraded = True
-                    return report
+                    return self._partial_report(report, deadline)
                 achieved = report.max_relative_half_width()
                 raise JobDeadlineExceeded(
                     f"online aggregation hit its {deadline:g}s deadline before "
@@ -268,8 +297,7 @@ class OnlineAggregator:
                 )
             if self.accumulator.attempts >= max_attempts:
                 if allow_partial:
-                    report.degraded = True
-                    return report
+                    return self._partial_report(report, deadline)
                 raise RuntimeError(
                     f"online aggregation did not reach rel_error={rel_error} at "
                     f"confidence={self.confidence} within {max_attempts} attempts "
@@ -280,6 +308,24 @@ class OnlineAggregator:
         return report
 
     # --------------------------------------------------------------- internals
+    def _partial_report(self, report: AggregateReport, deadline: Optional[float]) -> AggregateReport:
+        """Degrade ``report`` for an ``allow_partial`` return — or refuse.
+
+        A degraded report with zero accepted samples would be a lie (finite
+        zero-width CI around 0.0, undefined achieved error), so the empty
+        case raises :class:`EmptyResultError` instead of returning.
+        """
+        if self.accumulator.accepted == 0:
+            raise EmptyResultError(
+                "online aggregation budget expired before any sample was "
+                "accepted; no partial estimate exists — retry with a larger "
+                "deadline or attempt budget",
+                deadline=deadline,
+                attempts=self.accumulator.attempts,
+            )
+        report.degraded = True
+        return report
+
     def _reject_degenerate_union_count(self) -> None:
         """Refuse unfiltered COUNT(*) over a union with *estimated* parameters.
 

@@ -19,6 +19,11 @@ Four subcommands cover the common workflows:
 ``python -m repro figure``
     Regenerate one of the paper's figures (fig4a ... fig6b, ablation-bernoulli,
     ablation-template) and print its series table.
+
+``python -m repro serve``
+    Load a workload once and serve concurrent sample/aggregate requests over
+    JSON-over-HTTP with warm per-query state, admission control, and
+    epoch-consistent answers (see ``docs/server.md``).
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from repro.estimation.random_walk import RandomWalkUnionEstimator
 from repro.experiments.config import ExperimentConfig
 from repro.experiments import figures as figure_module
 from repro.parallel import parallel_sample
-from repro.resilience import JobDeadlineExceeded
+from repro.resilience import EmptyResultError, JobDeadlineExceeded
 from repro.tpch.workloads import build_workload
 from repro.utils.rng import spawn_rngs
 
@@ -157,6 +162,31 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale-factor", type=float, default=0.001)
     figure.add_argument("--walks", type=int, default=300)
     figure.add_argument("--seed", type=int, default=2023)
+
+    serve = sub.add_parser(
+        "serve", help="serve concurrent sample/aggregate requests over HTTP"
+    )
+    _add_workload_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 binds an ephemeral port and "
+                       "prints the actual one)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker budget of the shared sampling pool "
+                       "(default: CPU count)")
+    serve.add_argument("--max-request-seconds", type=float, default=30.0,
+                       help="admission ceiling per request, in cost-model "
+                       "seconds")
+    serve.add_argument("--max-samples", type=int, default=1_000_000,
+                       help="admission ceiling on samples per request")
+    serve.add_argument("--max-inflight", type=int, default=32,
+                       help="concurrent sample/aggregate requests before "
+                       "admission rejects instead of queueing")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip warming per-query prototypes at startup "
+                       "(they are then built lazily on first use)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
     return parser
 
 
@@ -403,6 +433,12 @@ def command_aggregate(args: argparse.Namespace) -> int:
         # a run that cannot converge at all.
         print(f"error: {error}", file=sys.stderr)
         return 3
+    except EmptyResultError as error:
+        # --allow-partial with zero accepted samples: there is no honest
+        # partial estimate (a zero-width CI around 0.0 would be a lie), so
+        # this is an out-of-time failure, same exit code as the deadline.
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     except RuntimeError as error:
         # Budget exhausted before the error target: report, don't traceback.
         print(f"error: {error}", file=sys.stderr)
@@ -458,6 +494,48 @@ def command_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the server stack (and its pool) is only paid for by
+    # the one subcommand that serves.
+    from repro.server import AdmissionLimits, SamplingService, start_server
+
+    if args.port < 0 or args.port > 65535:
+        print(f"error: --port must be in [0, 65535], got {args.port}", file=sys.stderr)
+        return 2
+    try:
+        service = SamplingService(
+            workload_name=args.workload,
+            scale_factor=args.scale_factor,
+            overlap_scale=args.overlap_scale,
+            seed=args.seed,
+            workers=args.workers,
+            limits=AdmissionLimits(
+                max_request_seconds=args.max_request_seconds,
+                max_samples=args.max_samples,
+                max_inflight=args.max_inflight,
+            ),
+            warm_on_start=not args.no_warm,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server, thread = start_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    # The exact line (flushed!) the smoke harness and orchestrators wait for;
+    # with --port 0 it is the only way to learn the bound port.
+    print(f"serving workload={args.workload} on http://{args.host}:{server.port}",
+          flush=True)
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -469,6 +547,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_aggregate(args)
     if args.command == "figure":
         return command_figure(args)
+    if args.command == "serve":
+        return command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -54,6 +54,8 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -67,6 +69,7 @@ from repro.parallel.shards import (
     observed_versions,
     run_shard,
 )
+from repro.resilience.errors import EmptyResultError
 from repro.resilience.faults import FaultPlan, InjectedFault, fault_plan_from_env
 from repro.resilience.supervisor import (
     RetryPolicy,
@@ -221,6 +224,55 @@ class ParallelSamplerPool:
         #: the tasks, so it is done once per run and remembered for reports)
         self._last_execution: Optional[str] = None
         self._last_outcome: Optional[SupervisedOutcome] = None
+        #: long-lived thread executor, created lazily on the first thread-rung
+        #: run and reused across jobs until close() (supervisors borrow it).
+        self._thread_executor: Optional[ThreadPoolExecutor] = None
+        #: guards the executor lifecycle, the shared counters, and the
+        #: last-run bookkeeping against concurrent run() callers (the server
+        #: multiplexes many requests onto one pool).
+        self._lock = threading.Lock()
+        self._closed = False
+        #: per-thread outcome of the most recent run() on that thread
+        self._tls = threading.local()
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down the pool's long-lived resources; idempotent.
+
+        After close, submitting new jobs raises ``RuntimeError``.  The thread
+        executor is drained (``wait=True``) so every spawned thread is
+        actually reaped — the regression for the old behaviour of building a
+        fresh executor per run and leaking it to GC under a long-lived
+        server.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._thread_executor = self._thread_executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelSamplerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _borrowed_executor(self) -> ThreadPoolExecutor:
+        """The shared thread executor, created on first use."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ParallelSamplerPool is closed")
+            if self._thread_executor is None:
+                self._thread_executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="repro-pool"
+                )
+            return self._thread_executor
 
     # ------------------------------------------------------------------- plan
     def plan_tasks(
@@ -270,46 +322,87 @@ class ParallelSamplerPool:
         ]
 
     # -------------------------------------------------------------------- run
-    def run(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+    def run(
+        self,
+        tasks: Sequence[ShardTask],
+        *,
+        job_timeout: Optional[float] = None,
+        allow_partial: Optional[bool] = None,
+    ) -> List[ShardResult]:
         """Execute the shard tasks under supervision, in shard-id order.
 
         Each shard is dispatched individually with per-shard timeouts,
         bounded retries, and the degradation ladder; see
         :class:`~repro.resilience.supervisor.ShardSupervisor`.  Failures
         that survive the retry budget re-raise with shard attribution
-        (unless the pool was built with ``allow_partial=True``, in which
-        case the completed shards come back and the missing ones are
-        recorded on the run report).
+        (unless ``allow_partial``, in which case the completed shards come
+        back and the missing ones are recorded on the run report).
+
+        ``job_timeout``/``allow_partial`` override the pool's defaults for
+        this run only — the server maps per-request deadlines onto a shared
+        pool through them.
+        """
+        results, outcome, execution = self._run_supervised(
+            tasks, job_timeout=job_timeout, allow_partial=allow_partial
+        )
+        # Per-caller outcome rides a thread-local (concurrent run() callers
+        # must not read each other's supervision outcome); the _last_* pair
+        # is best-effort shared bookkeeping for external introspection.
+        self._tls.outcome = outcome
+        self._tls.execution = execution
+        with self._lock:
+            self._last_execution = execution
+            self._last_outcome = outcome
+        return results
+
+    def _run_supervised(
+        self,
+        tasks: Sequence[ShardTask],
+        *,
+        job_timeout: Optional[float] = None,
+        allow_partial: Optional[bool] = None,
+    ) -> Tuple[List[ShardResult], Optional[SupervisedOutcome], Optional[str]]:
+        """Thread-safe core of :meth:`run`: no shared last-run bookkeeping.
+
+        Concurrent callers (the server multiplexes requests onto one pool)
+        each get their own supervisor and outcome; only the lifetime
+        counters and the borrowed thread executor are shared, both under
+        the pool lock.
         """
         if not tasks:
-            self._last_outcome = None
-            return []
+            return [], None, None
+        if self._closed:
+            raise RuntimeError("ParallelSamplerPool is closed")
         execution = self._resolve_execution(tasks)
-        self._last_execution = execution
         rung = execution
-        if execution == "thread" and (self.workers == 1 or len(tasks) == 1):
-            # Single-worker thread jobs gain nothing from the executor: run
-            # inline, the same fast path the pre-resilience pool had.
-            rung = "inline"
+        executor = None
+        if execution == "thread":
+            if self.workers == 1 or len(tasks) == 1:
+                # Single-worker thread jobs gain nothing from the executor:
+                # run inline, the same fast path the pre-resilience pool had.
+                rung = "inline"
+            else:
+                executor = self._borrowed_executor()
         supervisor = ShardSupervisor(
             tasks,
             execution=rung,
             workers=self.workers,
             policy=self.retry_policy,
             shard_timeout=self.shard_timeout,
-            deadline=self.job_timeout,
-            allow_partial=self.allow_partial,
+            deadline=self.job_timeout if job_timeout is None else job_timeout,
+            allow_partial=self.allow_partial if allow_partial is None else allow_partial,
             fault_plan=self.fault_plan,
             start_method=self.start_method,
+            executor=executor,
         )
         try:
             outcome = supervisor.run()
         finally:
             # Supervision counters survive a raising run — a PoisonShardError
             # still leaves its attempts/retries on ``self.stats``.
-            self.stats.merge(supervisor.stats)
-        self._last_outcome = outcome
-        return outcome.results
+            with self._lock:
+                self.stats.merge(supervisor.stats)
+        return outcome.results, outcome, execution
 
     def sample(
         self,
@@ -320,13 +413,17 @@ class ParallelSamplerPool:
         method: str = "auto",
         shards: Optional[int] = None,
         max_attempts: int = 1_000_000,
+        job_timeout: Optional[float] = None,
+        allow_partial: Optional[bool] = None,
     ) -> ParallelRunReport:
         """``count`` uniform samples, fanned out and merged in shard order."""
         tasks = self.plan_tasks(
             queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
         )
-        results = self._run_with_epoch_guard(tasks)
-        report = self._base_report(tasks, results)
+        results, outcome, execution = self._run_with_epoch_guard(
+            tasks, job_timeout=job_timeout, allow_partial=allow_partial
+        )
+        report = self._base_report(tasks, results, outcome, execution)
         query = tasks[0].queries[0]
         for result in results:
             if result.block is not None:
@@ -351,6 +448,8 @@ class ParallelSamplerPool:
         method: str = "auto",
         shards: Optional[int] = None,
         max_attempts: int = 1_000_000,
+        job_timeout: Optional[float] = None,
+        allow_partial: Optional[bool] = None,
     ) -> ParallelRunReport:
         """Merged :class:`AggregateAccumulator` over ``count`` samples.
 
@@ -367,8 +466,10 @@ class ParallelSamplerPool:
             shards=shards,
             max_attempts=max_attempts,
         )
-        results = self._run_with_epoch_guard(tasks)
-        report = self._base_report(tasks, results)
+        results, outcome, execution = self._run_with_epoch_guard(
+            tasks, job_timeout=job_timeout, allow_partial=allow_partial
+        )
+        report = self._base_report(tasks, results, outcome, execution)
         merged: Optional[AggregateAccumulator] = None
         for result in results:
             if result.accumulator is None:
@@ -427,15 +528,32 @@ class ParallelSamplerPool:
             return "thread"
         return "process"
 
-    def _run_with_epoch_guard(self, tasks: Sequence[ShardTask]) -> List[ShardResult]:
+    def _run_with_epoch_guard(
+        self,
+        tasks: Sequence[ShardTask],
+        *,
+        job_timeout: Optional[float] = None,
+        allow_partial: Optional[bool] = None,
+    ) -> Tuple[List[ShardResult], Optional[SupervisedOutcome], Optional[str]]:
         """Run the job, discarding and restarting on mutation epoch bumps."""
         queries = tasks[0].queries
         restarts = 0
         while True:
             before = observed_versions(queries)
-            results = self.run(tasks)
+            # Through the public run() so subclass/monkeypatch hooks apply;
+            # the supervision outcome comes back on this thread's slot.
+            # Per-request overrides are only forwarded when set, so hooks
+            # with the historical (self, tasks) signature keep working.
+            if job_timeout is None and allow_partial is None:
+                results = self.run(tasks)
+            else:
+                results = self.run(
+                    tasks, job_timeout=job_timeout, allow_partial=allow_partial
+                )
+            outcome = getattr(self._tls, "outcome", None)
+            execution = getattr(self._tls, "execution", None)
             if observed_versions(queries) == before:
-                return results
+                return results, outcome, execution
             # A refresh() epoch bump landed while shards were in flight: the
             # results mix database snapshots, so they are discarded wholesale
             # (the PR 2/PR 3 restart semantics) and the job re-runs against
@@ -450,11 +568,15 @@ class ParallelSamplerPool:
                 )
 
     def _base_report(
-        self, tasks: Sequence[ShardTask], results: Sequence[ShardResult]
+        self,
+        tasks: Sequence[ShardTask],
+        results: Sequence[ShardResult],
+        outcome: Optional[SupervisedOutcome] = None,
+        execution: Optional[str] = None,
     ) -> ParallelRunReport:
         report = ParallelRunReport(
             backend=tasks[0].backend,
-            execution=self._last_execution or self._resolve_execution(tasks),
+            execution=execution or self._last_execution or self._resolve_execution(tasks),
             workers=self.workers,
             shards=len(tasks),
             attempts=sum(r.attempts for r in results),
@@ -465,7 +587,9 @@ class ParallelSamplerPool:
                 for r in results
             ],
         )
-        outcome = self._last_outcome
+        if outcome is None:
+            with self._lock:
+                outcome = self._last_outcome
         if outcome is not None:
             stats = outcome.stats
             report.retries = stats.retries
@@ -527,7 +651,7 @@ def parallel_sample(
     max_attempts: int = 1_000_000,
 ) -> ParallelRunReport:
     """One-shot parallel sampling: plan shards, fan out, merge in shard order."""
-    pool = ParallelSamplerPool(
+    with ParallelSamplerPool(
         workers=workers,
         execution=execution,
         job_timeout=job_timeout,
@@ -535,10 +659,10 @@ def parallel_sample(
         max_retries=max_retries,
         allow_partial=allow_partial,
         fault_plan=fault_plan,
-    )
-    return pool.sample(
-        queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
-    )
+    ) as pool:
+        return pool.sample(
+            queries, count, seed=seed, method=method, shards=shards, max_attempts=max_attempts
+        )
 
 
 def parallel_aggregate(
@@ -571,7 +695,7 @@ def parallel_aggregate(
     merge of the completed shards with ``degraded=True`` on the report: an
     unbiased estimate over fewer samples, hence a wider interval.
     """
-    pool = ParallelSamplerPool(
+    with ParallelSamplerPool(
         workers=workers,
         execution=execution,
         job_timeout=job_timeout,
@@ -579,17 +703,26 @@ def parallel_aggregate(
         max_retries=max_retries,
         allow_partial=allow_partial,
         fault_plan=fault_plan,
-    )
-    run = pool.aggregate(
-        queries,
-        spec,
-        count,
-        seed=seed,
-        method=method,
-        shards=shards,
-        max_attempts=max_attempts,
-    )
+    ) as pool:
+        run = pool.aggregate(
+            queries,
+            spec,
+            count,
+            seed=seed,
+            method=method,
+            shards=shards,
+            max_attempts=max_attempts,
+        )
     assert run.accumulator is not None
+    if run.degraded and count > 0 and run.accumulator.accepted == 0:
+        # A "partial" answer with zero accepted samples is no answer at all:
+        # its CI would be a zero-width lie around 0.0 (see EmptyResultError).
+        raise EmptyResultError(
+            "parallel aggregation deadline expired before any shard completed; "
+            "no partial estimate exists — retry with a larger deadline",
+            deadline=job_timeout,
+            attempts=run.attempts,
+        )
     report = run.accumulator.estimate(confidence=confidence, ci_method=ci_method)
     report.degraded = run.degraded
     report.completed_shards = run.completed_shards

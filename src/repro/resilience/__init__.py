@@ -22,6 +22,7 @@ argument (retries and degradations never change the merged answer).
 
 from repro.resilience.errors import (
     CorruptShardResult,
+    EmptyResultError,
     JobDeadlineExceeded,
     PoisonShardError,
     ShardCrash,
@@ -57,6 +58,7 @@ __all__ = [
     "NO_FAULTS",
     "CooperativeDeadline",
     "CorruptShardResult",
+    "EmptyResultError",
     "FaultAction",
     "FaultPlan",
     "InjectedFault",

@@ -117,6 +117,35 @@ class PoisonShardError(ShardError):
         super().__init__(message, **attribution)
 
 
+class EmptyResultError(RuntimeError):
+    """A partial return was requested but *zero* samples were accepted.
+
+    ``allow_partial`` promises a degraded-but-honest answer: fewer samples,
+    wider CI.  When the deadline (or attempt budget) expires before a single
+    sample is accepted there is no honest answer — ``achieved_rel_error``
+    would divide by zero, and the all-rejected accumulator would report a
+    zero-width CI around 0.0, which reads as *perfect* confidence.  Rather
+    than emit that overconfident report, the engine raises this error.
+    Schedulers should treat it like a deadline failure: retry with more time
+    or a larger attempt budget.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline: Optional[float] = None,
+        attempts: int = 0,
+    ) -> None:
+        self.deadline = deadline
+        self.attempts = int(attempts)
+        detail = f" (0 samples accepted after {self.attempts} attempts"
+        if deadline is not None:
+            detail += f", deadline {deadline:g}s"
+        detail += ")"
+        super().__init__(f"{message}{detail}")
+
+
 class JobDeadlineExceeded(RuntimeError):
     """The job deadline expired with shards still outstanding.
 
@@ -150,6 +179,7 @@ class JobDeadlineExceeded(RuntimeError):
 
 __all__ = [
     "CorruptShardResult",
+    "EmptyResultError",
     "JobDeadlineExceeded",
     "PoisonShardError",
     "ShardCrash",

@@ -330,6 +330,10 @@ class ShardSupervisor:
         harness).
     start_method:
         ``multiprocessing`` start method for process-rung attempts.
+    executor:
+        Optional pre-built ``ThreadPoolExecutor`` for thread-rung attempts.
+        Borrowed, not owned: reused across supervisor runs (the long-lived
+        pool hands its executor to every run) and never shut down here.
     """
 
     def __init__(
@@ -344,6 +348,7 @@ class ShardSupervisor:
         allow_partial: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         start_method: str = "spawn",
+        executor: Optional[object] = None,
     ) -> None:
         if execution not in LADDER:
             raise ValueError(f"execution must be one of {LADDER}, got {execution!r}")
@@ -375,7 +380,12 @@ class ShardSupervisor:
         self._states: List[_ShardState] = []
         self._running: List[_Handle] = []
         self._deadline_at: Optional[float] = None
-        self._executor = None
+        #: thread-rung executor.  A caller-provided executor (the pool's
+        #: long-lived one) is borrowed — reused across supervisors and never
+        #: shut down here; a lazily-created one is owned and reaped in
+        #: ``_cleanup``.
+        self._executor = executor
+        self._owns_executor = executor is None
         self._event = None
         self._mp_context = None
         self._warned_thread_cancel = False
@@ -477,11 +487,13 @@ class ShardSupervisor:
         import threading
         from concurrent.futures import ThreadPoolExecutor
 
+        if self._event is None:
+            self._event = threading.Event()
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-shard"
             )
-            self._event = threading.Event()
+            self._owns_executor = True
         handle.future = self._executor.submit(self._thread_entry, handle)
         handle.future.add_done_callback(lambda _f: self._event.set())
 
@@ -881,7 +893,8 @@ class ShardSupervisor:
                 self._close_process(handle)
         self._running.clear()
         if self._executor is not None:
-            self._executor.shutdown(wait=False)
+            if self._owns_executor:
+                self._executor.shutdown(wait=False)
             self._executor = None
 
 

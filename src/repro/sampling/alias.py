@@ -290,6 +290,21 @@ class SegmentedAliasTable:
         if pending.size:
             self._all_built = bool(self._built.all())
 
+    def build_all(self) -> None:
+        """Eagerly build every pending segment, making the table read-only.
+
+        Once every segment is built, :meth:`sample` never mutates the table
+        again (``ensure_built`` short-circuits on ``_all_built``), so a fully
+        built table can be shared across threads without locking.  The warm
+        server path calls this once per epoch so per-request sampler clones
+        can share one table.
+        """
+        if self._all_built:
+            return
+        for slot in np.flatnonzero(~self._built).tolist():
+            self._build_segment(int(slot))
+        self._all_built = True
+
     def rebuild_segments(self, slots: Iterable[int], weights: Optional[np.ndarray] = None) -> None:
         """Invalidate (and lazily rebuild) the given segments after a delta.
 

@@ -36,10 +36,12 @@ seed.
 
 from __future__ import annotations
 
+import functools
+import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -92,6 +94,24 @@ class JoinSamplerStats:
         if self.attempts == 0:
             return 0.0
         return self.accepted / self.attempts
+
+
+def _locked(method: Callable) -> Callable:
+    """Serialize a public entry point on the sampler's reentrant lock.
+
+    Draw calls mutate shared state (buffers, stats, lazily-built plans, the
+    generator) — the lock makes one sampler safe for concurrent callers (the
+    server's shared-state path).  Reentrant so ``sample -> sample_block ->
+    refresh`` nests; distinct samplers (e.g. ``split()`` shards) have
+    distinct locks and never contend.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -154,6 +174,7 @@ class JoinSampler:
         enforce_predicates: bool = True,
         max_batch_size: int = 8192,
         parallelism: int = 1,
+        _prototype: Optional["JoinSampler"] = None,
     ) -> None:
         self.query = query
         self.tree = tree or build_join_tree(query)
@@ -187,7 +208,22 @@ class JoinSampler:
         self._max_batch_size = max(int(max_batch_size), 1)
         self.parallelism = max(int(parallelism), 1)
         self._shard_samplers: Optional[List["JoinSampler"]] = None
-        self._load_root_weights()
+        self._lock = threading.RLock()
+        #: True when ``_root_alias``/``_plans`` are borrowed read-only from a
+        #: warm prototype (see :meth:`split`); a refresh must then drop the
+        #: borrowed structures instead of mutating them in place.
+        self._shared_plans = False
+        if _prototype is not None:
+            # Borrow the prototype's (fully built, read-only) structures
+            # instead of paying the O(root rows) alias construction per clone.
+            self._root_weights = _prototype._root_weights
+            self._root_total = _prototype._root_total
+            self._root_alias = _prototype._root_alias
+            self._root_cumulative = _prototype._root_cumulative
+            self._plans = _prototype._plans
+            self._shared_plans = True
+        else:
+            self._load_root_weights()
 
     def _load_root_weights(self) -> None:
         self._root_weights = np.asarray(self.weight_function.root_weights(), dtype=float)
@@ -210,6 +246,7 @@ class JoinSampler:
         """True when a base relation mutated since the last (re)build."""
         return tuple(r.version for r in self._relations) != self._db_versions
 
+    @_locked
     def refresh(self) -> bool:
         """Re-sync with mutated base relations; returns True when stale.
 
@@ -237,7 +274,13 @@ class JoinSampler:
         }
         self.weight_function.refresh()
         self._load_root_weights()
-        self._refresh_plans(stale_names)
+        if self._shared_plans:
+            # The plans belong to the warm prototype; never mutate them from
+            # a borrower.  Drop the reference and rebuild lazily on demand.
+            self._plans = None
+            self._shared_plans = False
+        else:
+            self._refresh_plans(stale_names)
         self._block_buffer.clear()
         self._draw_buffer.clear()
         if self._shard_samplers:
@@ -261,6 +304,7 @@ class JoinSampler:
             return self.weight_function.total_weight
         return None
 
+    @_locked
     def try_sample(self) -> Optional[SampleDraw]:
         """One root-to-leaf attempt; ``None`` when the walk is rejected.
 
@@ -322,6 +366,7 @@ class JoinSampler:
             attempts=1,
         )
 
+    @_locked
     def sample(self, max_attempts: int = 1_000_000) -> SampleDraw:
         """One accepted sample (refills an internal buffer via the block path)."""
         self.refresh()  # a stale buffer must not serve previous-epoch draws
@@ -340,6 +385,7 @@ class JoinSampler:
         """``count`` independent accepted samples."""
         return self.sample_batch(count, max_attempts=max_attempts)
 
+    @_locked
     def sample_batch(self, count: int, max_attempts: int = 1_000_000) -> List[SampleDraw]:
         """``count`` accepted samples as boxed :class:`SampleDraw` objects.
 
@@ -363,6 +409,7 @@ class JoinSampler:
             draws.extend(block.to_draws(self.query))
         return draws
 
+    @_locked
     def sample_block(self, count: int, max_attempts: int = 1_000_000) -> SampleBlock:
         """``count`` accepted samples in struct-of-arrays form (zero-object).
 
@@ -435,6 +482,7 @@ class JoinSampler:
             if len(part):
                 self._block_buffer.append(part)
 
+    @_locked
     def pop_buffered(self) -> List[SampleDraw]:
         """Drain and return the buffered surplus of the last batched pass.
 
@@ -449,6 +497,7 @@ class JoinSampler:
             drained.extend(block.to_draws(self.query))
         return drained
 
+    @_locked
     def pop_buffered_blocks(self) -> List[SampleBlock]:
         """Drain the struct-of-arrays surplus (the zero-object twin of
         :meth:`pop_buffered`; boxed draws parked by ``sample()`` are not
@@ -460,22 +509,54 @@ class JoinSampler:
                 drained.extend(shard.pop_buffered_blocks())
         return drained
 
-    def split(self, count: int, seed: RandomState = None) -> List["JoinSampler"]:
+    @_locked
+    def warm(self) -> "JoinSampler":
+        """Eagerly build every descent structure; returns self for chaining.
+
+        After warming, the root alias table, every level plan, and every
+        per-segment alias table exist and are fully built, so subsequent
+        draws (and :meth:`split` clones that borrow the structures) never
+        pay lazy-construction cost — and, because a fully built
+        :class:`~repro.sampling.alias.SegmentedAliasTable` is read-only, the
+        structures are safe to share across threads.  The server calls this
+        once per (query, weights, epoch).
+        """
+        self.refresh()
+        for plan in self._level_plans():
+            plan.alias.build_all()
+        return self
+
+    @_locked
+    def split(
+        self,
+        count: int,
+        seed: RandomState = None,
+        share_plans: bool = False,
+    ) -> List["JoinSampler"]:
         """``count`` independent shard samplers over the same join.
 
         The shards share this sampler's weight function and join tree (so the
         expensive weight computation is paid once) but draw from independent
         streams derived via :func:`~repro.utils.rng.spawn_rngs` — by default
         from this sampler's own stream, so a fixed parent seed yields a fixed
-        family of shards.  Shards are safe to run on concurrent threads as
-        long as the base relations do not mutate mid-batch (the coordinator
-        epoch guard in :mod:`repro.parallel` handles mutations between
-        batches).
+        family of shards; with an explicit ``seed`` the parent's stream is
+        left untouched (the server's per-request clones rely on this).
+        Shards are safe to run on concurrent threads as long as the base
+        relations do not mutate mid-batch (the coordinator epoch guard in
+        :mod:`repro.parallel` handles mutations between batches).
+
+        With ``share_plans=True`` this sampler is warmed first and the clones
+        borrow its root alias table and level plans **read-only** (a fully
+        built table never mutates on draw), so a clone costs O(1) instead of
+        O(root rows).  A borrowing clone that observes a mutation epoch drops
+        the borrowed structures and rebuilds its own.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
+        if share_plans:
+            self.warm()
         streams = spawn_rngs(self.rng if seed is None else seed, count)
-        return [
+        shards = [
             JoinSampler(
                 self.query,
                 weights=self.weight_function,
@@ -483,9 +564,11 @@ class JoinSampler:
                 tree=self.tree,
                 enforce_predicates=self.enforce_predicates,
                 max_batch_size=self._max_batch_size,
+                _prototype=self if share_plans else None,
             )
             for stream in streams
         ]
+        return shards
 
     def _sample_block_parallel(self, count: int, max_attempts: int) -> SampleBlock:
         """Fan ``count`` across the shard samplers; concatenate in shard order."""

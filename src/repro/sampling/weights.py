@@ -24,6 +24,7 @@ estimator — and lives in :mod:`repro.sampling.wander_join`.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -46,6 +47,10 @@ class WeightFunction(ABC):
             node.relation for node in self.tree.root.post_order()
         ]
         self._versions = self._capture_versions()
+        # Sampler clones created by JoinSampler.split() share one weight
+        # function; the lock serializes their concurrent refresh() calls (the
+        # second caller re-checks staleness under the lock and no-ops).
+        self._refresh_lock = threading.Lock()
 
     # -------------------------------------------------------------- staleness
     def _capture_versions(self) -> Dict[str, int]:
@@ -76,11 +81,16 @@ class WeightFunction(ABC):
         what the dirty relations can influence (see ``_refresh``).  A call on
         fresh weights is O(#relations) integer comparisons.
         """
-        dirty = self.stale_relations()
-        if not dirty:
+        if not self.stale_relations():
             return False
-        self._refresh(dirty)
-        self._versions = self._capture_versions()
+        with self._refresh_lock:
+            # Double-checked: a concurrent refresh may have run while we
+            # waited on the lock, in which case there is nothing left to do.
+            dirty = self.stale_relations()
+            if not dirty:
+                return False
+            self._refresh(dirty)
+            self._versions = self._capture_versions()
         return True
 
     def _refresh(self, dirty: Set[str]) -> None:
@@ -124,6 +134,16 @@ class WeightFunction(ABC):
     def describe(self) -> Dict[str, float]:
         """Summary used by benchmarks (total weight and per-node bounds)."""
         return {"total_weight": self.total_weight}
+
+    # Locks are not picklable; drop on serialization, recreate on load.
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state.pop("_refresh_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._refresh_lock = threading.Lock()
 
 
 class ExactWeightFunction(WeightFunction):

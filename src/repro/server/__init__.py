@@ -1,0 +1,29 @@
+"""Sampling-as-a-service: a long-lived concurrent query server.
+
+Load the relations once, keep the per-query sampling structures warm, and
+serve concurrent ``sample``/``aggregate`` jobs over JSON-over-HTTP — each
+answer epoch-consistent, admission-controlled, and bit-identical to the
+same request served sequentially.  See ``docs/server.md``.
+"""
+
+from repro.server.admission import AdmissionController, AdmissionLimits
+from repro.server.http import (
+    SamplingHTTPServer,
+    ServerClient,
+    ServerError,
+    start_server,
+)
+from repro.server.protocol import ERROR_CODES, RequestError
+from repro.server.service import SamplingService
+
+__all__ = [
+    "ERROR_CODES",
+    "AdmissionController",
+    "AdmissionLimits",
+    "RequestError",
+    "SamplingHTTPServer",
+    "SamplingService",
+    "ServerClient",
+    "ServerError",
+    "start_server",
+]

@@ -1,0 +1,159 @@
+"""Admission control: price requests before they run, bound what runs at once.
+
+A long-lived server multiplexing many clients onto one
+:class:`~repro.parallel.pool.ParallelSamplerPool` has three resources to
+protect — CPU seconds, the per-request sample budget, and concurrency slots
+— and it must refuse work *up front* (a structured ``admission-rejected``
+error the client can act on) rather than let an oversized request starve
+everyone else mid-flight.
+
+The pricing reuses the planner's calibrated
+:class:`~repro.analysis.cost.BackendCostModel`
+(:func:`~repro.analysis.cost.estimate_backend_costs`): a request is charged
+the *cheapest* backend that could serve it — rejecting on an expensive
+backend the planner would never pick would be wrong — and requests that
+ride the server's warm per-query prototypes are charged only the marginal
+per-sample term, because the O(rows) setup they would otherwise pay is
+already resident.  Priced seconds are model units, not a wall-clock promise;
+they only need to rank requests consistently, exactly like the planner.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.cost import BackendCostModel, estimate_backend_costs
+from repro.joins.query import JoinQuery
+from repro.server.protocol import RequestError
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """The knobs of one :class:`AdmissionController`.
+
+    ``max_request_seconds``
+        Priced-cost ceiling per request, in cost-model seconds.
+    ``max_samples``
+        Per-request sample budget (aggregate requests are priced at the
+        sample demand their error target implies, and that demand is
+        bounded too).
+    ``max_inflight``
+        Concurrent sample/aggregate requests allowed inside the service;
+        request N+1 is rejected, not queued — a client that wants queueing
+        semantics can retry on ``admission-rejected``.
+    """
+
+    max_request_seconds: float = 30.0
+    max_samples: int = 1_000_000
+    max_inflight: int = 32
+
+
+class AdmissionController:
+    """Price-and-count gatekeeper in front of the sampling service."""
+
+    def __init__(
+        self,
+        limits: Optional[AdmissionLimits] = None,
+        model: Optional[BackendCostModel] = None,
+    ) -> None:
+        self.limits = limits or AdmissionLimits()
+        self.model = model
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ price
+    def price(
+        self,
+        queries: Sequence[JoinQuery],
+        sample_size: int,
+        *,
+        warm: bool = False,
+    ) -> float:
+        """Cheapest-backend cost of the request, in cost-model seconds.
+
+        Unions are priced as the sum of their per-join minima (the union
+        sampler visits every join).  ``warm=True`` subtracts the setup term
+        — ``estimate_backend_costs(q, 0)`` is exactly the setup-only price —
+        because requests served from a warm prototype never pay it.
+        """
+        total = 0.0
+        for query in queries:
+            costs = estimate_backend_costs(query, sample_size, model=self.model)
+            if warm:
+                setup = estimate_backend_costs(query, 0, model=self.model)
+                costs = {name: cost - setup[name] for name, cost in costs.items()}
+            total += min(costs.values())
+        return total
+
+    # ------------------------------------------------------------------ admit
+    def check(
+        self,
+        queries: Sequence[JoinQuery],
+        sample_size: int,
+        *,
+        warm: bool = False,
+    ) -> float:
+        """Raise ``admission-rejected`` when the request busts a limit.
+
+        Returns the priced cost on success so the caller can report it.
+        """
+        limits = self.limits
+        if sample_size > limits.max_samples:
+            with self._lock:
+                self.rejected += 1
+            raise RequestError(
+                "admission-rejected",
+                f"request wants {sample_size} samples but the per-request "
+                f"budget is {limits.max_samples}; split the request or ask "
+                "the operator to raise max_samples",
+                limit="max_samples",
+                max_samples=limits.max_samples,
+                requested_samples=sample_size,
+            )
+        priced = self.price(queries, sample_size, warm=warm)
+        if priced > limits.max_request_seconds:
+            with self._lock:
+                self.rejected += 1
+            raise RequestError(
+                "admission-rejected",
+                f"request priced at {priced:.3f} cost-model seconds exceeds "
+                f"the {limits.max_request_seconds:g}s admission ceiling; "
+                "reduce the sample count or loosen the error target",
+                limit="max_request_seconds",
+                max_request_seconds=limits.max_request_seconds,
+                priced_seconds=priced,
+            )
+        return priced
+
+    # --------------------------------------------------------------- inflight
+    def acquire_slot(self) -> None:
+        """Claim a concurrency slot or raise ``admission-rejected``."""
+        with self._lock:
+            if self._inflight >= self.limits.max_inflight:
+                self.rejected += 1
+                raise RequestError(
+                    "admission-rejected",
+                    f"server already has {self._inflight} requests in flight "
+                    f"(limit {self.limits.max_inflight}); retry later",
+                    limit="max_inflight",
+                    max_inflight=self.limits.max_inflight,
+                )
+            self._inflight += 1
+            self.admitted += 1
+
+    def release_slot(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+
+__all__ = ["AdmissionController", "AdmissionLimits"]

@@ -1,0 +1,214 @@
+"""JSON-over-HTTP transport for :class:`~repro.server.service.SamplingService`.
+
+Stdlib only — :class:`http.server.ThreadingHTTPServer` on the server side,
+:mod:`http.client` in :class:`ServerClient` — so the server adds zero
+dependencies.  One endpoint does the work:
+
+``POST /api``
+    Body: one request JSON object (see :mod:`repro.server.protocol`).
+    Response: the service's payload, with the HTTP status derived from the
+    protocol error code (200 on success).
+
+``GET /health`` / ``GET /stats``
+    Convenience mirrors of the corresponding request kinds, so a plain
+    ``curl`` (or an orchestrator's liveness probe) needs no body.
+
+Each request runs on its own thread (``ThreadingHTTPServer``), all threads
+multiplexing onto the one shared service — which is exactly the concurrency
+regime the service's epoch protocol and warm-clone design are built for.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.server.protocol import ERROR_CODES
+from repro.server.service import SamplingService
+
+#: requests larger than this are refused unread (a body this size is never
+#: a legitimate request against this protocol)
+MAX_REQUEST_BYTES = 4 * 1024 * 1024
+
+
+class SamplingRequestHandler(BaseHTTPRequestHandler):
+    """Per-connection handler; delegates everything to the shared service."""
+
+    protocol_version = "HTTP/1.1"
+    server: "SamplingHTTPServer"
+
+    # ------------------------------------------------------------------ verbs
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path.rstrip("/") not in ("", "/api"):
+            self._reply(404, {"ok": False, "error": {
+                "code": "invalid-request", "message": f"no such path {self.path!r}"}})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > MAX_REQUEST_BYTES:
+            self._reply(400, {"ok": False, "error": {
+                "code": "invalid-request",
+                "message": f"bad or oversized Content-Length {length}"}})
+            return
+        body = self.rfile.read(length)
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._reply(400, {"ok": False, "error": {
+                "code": "invalid-request", "message": f"bad JSON body: {error}"}})
+            return
+        self._dispatch(request)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        kind = self.path.rstrip("/").lstrip("/")
+        if kind not in ("health", "stats"):
+            self._reply(404, {"ok": False, "error": {
+                "code": "invalid-request", "message": f"no such path {self.path!r}"}})
+            return
+        self._dispatch({"kind": kind})
+
+    # -------------------------------------------------------------- plumbing
+    def _dispatch(self, request: object) -> None:
+        payload = self.server.service.handle(request)
+        if payload.get("ok"):
+            status = 200
+        else:
+            code = payload.get("error", {}).get("code", "internal")
+            status = ERROR_CODES.get(code, 500)
+        self._reply(status, payload)
+
+    def _reply(self, status: int, payload: Mapping[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.server.verbose:  # quiet by default: the server is a service,
+            super().log_message(format, *args)  # not a traffic logger
+
+
+class SamplingHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP front-end bound to one :class:`SamplingService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: SamplingService,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, SamplingRequestHandler)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_server(
+    service: SamplingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> Tuple[SamplingHTTPServer, threading.Thread]:
+    """Bind and start serving on a daemon thread; returns (server, thread).
+
+    ``port=0`` binds an ephemeral port — read the actual one off
+    ``server.port``.  Call ``server.shutdown()`` then ``service.close()``
+    to stop.
+    """
+    server = SamplingHTTPServer((host, port), service, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-server", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+class ServerError(RuntimeError):
+    """Raised by :meth:`ServerClient.call` on an error payload."""
+
+    def __init__(self, code: str, message: str, details: Dict[str, object]) -> None:
+        self.code = code
+        self.details = details
+        super().__init__(f"[{code}] {message}")
+
+
+class ServerClient:
+    """Minimal blocking client over :mod:`http.client`.
+
+    One connection per request: the load generator runs many client threads,
+    and per-request connections sidestep every connection-reuse/threading
+    subtlety at a latency cost that is noise next to the sampling itself.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """POST one request; returns the decoded payload, errors included."""
+        body = json.dumps(payload).encode("utf-8")
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "POST", "/api", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            return json.loads(response.read().decode("utf-8"))
+        finally:
+            connection.close()
+
+    def call(self, payload: Mapping[str, object]) -> Dict[str, object]:
+        """POST one request; returns ``result`` or raises :class:`ServerError`."""
+        answer = self.request(payload)
+        if answer.get("ok"):
+            return answer["result"]
+        error = answer.get("error", {})
+        raise ServerError(
+            error.get("code", "internal"),
+            error.get("message", "malformed error payload"),
+            {k: v for k, v in error.items() if k not in ("code", "message")},
+        )
+
+    # ------------------------------------------------------- request builders
+    def sample(self, query: str, count: int, **options: object) -> Dict[str, object]:
+        return self.call({"kind": "sample", "query": query, "count": count, **options})
+
+    def aggregate(self, query: str, aggregate: str, **options: object) -> Dict[str, object]:
+        return self.call({"kind": "aggregate", "query": query,
+                          "aggregate": aggregate, **options})
+
+    def mutate(self, relation: str, delete_positions: list) -> Dict[str, object]:
+        return self.call({"kind": "mutate", "relation": relation,
+                          "delete_positions": delete_positions})
+
+    def health(self) -> Dict[str, object]:
+        return self.call({"kind": "health"})
+
+    def stats(self) -> Dict[str, object]:
+        return self.call({"kind": "stats"})
+
+
+__all__ = [
+    "MAX_REQUEST_BYTES",
+    "SamplingHTTPServer",
+    "SamplingRequestHandler",
+    "ServerClient",
+    "ServerError",
+    "start_server",
+]

@@ -114,10 +114,22 @@ CASES = {
         "sample", "--workload", "UQ1", "--deadline", "5",
         "--shard-timeout", "1", *COMMON,
     ],
+    # A partial report is only honest when it contains samples: the budget
+    # (not the wall clock) is exhausted here, so the degraded report and its
+    # achieved error are deterministic.
     "cli_aggregate_allow_partial.json": [
         "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.001",
+        "--max-attempts", "400", "--allow-partial", "--json", *COMMON,
+    ],
+    # --allow-partial with a zero deadline accepts *nothing*: there is no
+    # honest partial estimate (a zero-width CI around 0.0 would be a lie),
+    # so the CLI refuses with the out-of-time exit code instead of printing
+    # a degraded report with zero samples.
+    "cli_err_aggregate_empty_partial.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
         "--attribute", "totalprice", "--rel-error", "0.1",
-        "--deadline", "0", "--allow-partial", "--json", *COMMON,
+        "--deadline", "0", "--allow-partial", *COMMON,
     ],
     "cli_sample_parallel_partial.json": [
         "sample", "--workload", "UQ1", "--samples", "12",
@@ -130,6 +142,9 @@ CASES = {
 DEADLINE_CASES = (
     "cli_err_aggregate_deadline_exceeded.json",
     "cli_err_sample_deadline_exceeded.json",
+    # empty-partial is an out-of-time failure too: the deadline expired
+    # before a single sample was accepted
+    "cli_err_aggregate_empty_partial.json",
 )
 
 
@@ -169,6 +184,8 @@ def test_cli_golden(name, capsys):
         payload = json.loads("\n".join(observed["lines"]))
         assert payload["report"]["degraded"] is True
         assert "achieved_rel_error" in payload["report"]
+        # the empty-partial contract: a degraded report always has samples
+        assert payload["report"]["accepted"] > 0
 
     path = GOLDEN_DIR / name
     if UPDATE_GOLDENS:

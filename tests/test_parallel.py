@@ -336,3 +336,69 @@ class TestOnlineAggregatorParallelism:
                 queries, SPEC_SUM, method="online-union", seed=1,
                 union_sampler=prebuilt, parallelism=2,
             )
+
+
+class TestPoolLifecycle:
+    """Regression: the pool owns its spawned resources and reaps them.
+
+    The old behaviour built a fresh ThreadPoolExecutor inside every run and
+    leaked it to GC — harmless for one-shot CLI jobs, a thread leak under a
+    long-lived server.  The pool now keeps ONE executor, reuses it across
+    runs, and close() / the context manager drains it deterministically.
+    """
+
+    @staticmethod
+    def _pool_threads():
+        import threading
+
+        return [t for t in threading.enumerate()
+                if t.name.startswith("repro-pool") and t.is_alive()]
+
+    def test_executor_reused_across_runs(self):
+        query = make_chain()
+        pool = ParallelSamplerPool(workers=2, execution="thread")
+        try:
+            pool.sample(query, 32, seed=5)
+            first = pool._thread_executor
+            assert first is not None
+            pool.sample(query, 32, seed=6)
+            assert pool._thread_executor is first
+        finally:
+            pool.close()
+
+    def test_close_reaps_spawned_threads_and_is_idempotent(self):
+        query = make_chain()
+        pool = ParallelSamplerPool(workers=2, execution="thread")
+        pool.sample(query, 32, seed=5)
+        assert self._pool_threads(), "expected live pool worker threads"
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.closed
+        assert not self._pool_threads(), "close() must reap every worker thread"
+
+    def test_closed_pool_rejects_new_jobs(self):
+        query = make_chain()
+        pool = ParallelSamplerPool(workers=2, execution="thread")
+        tasks = pool.plan_tasks(query, 16, seed=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.run(tasks)
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.sample(query, 16, seed=1)
+
+    def test_context_manager_closes(self):
+        query = make_chain()
+        with ParallelSamplerPool(workers=2, execution="thread") as pool:
+            report = pool.sample(query, 24, seed=7)
+            assert len(report.values) == 24
+        assert pool.closed
+        assert not self._pool_threads()
+
+    def test_answers_unchanged_by_executor_reuse(self):
+        query = make_chain()
+        with ParallelSamplerPool(workers=2, execution="thread") as pool:
+            first = pool.sample(query, 40, seed=9)
+            second = pool.sample(query, 40, seed=9)
+        assert first.values == second.values
+        one_shot = parallel_sample(query, 40, workers=2, execution="thread", seed=9)
+        assert one_shot.values == first.values

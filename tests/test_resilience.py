@@ -28,6 +28,7 @@ from repro.resilience import (
     KILL_EXIT_CODE,
     NO_FAULTS,
     CorruptShardResult,
+    EmptyResultError,
     FaultAction,
     FaultPlan,
     InjectedFault,
@@ -334,10 +335,23 @@ class TestDeadlines:
             aggregator.until(0.05, deadline=0.0)
 
     def test_online_aggregator_deadline_partial(self):
+        # With samples already accepted, a deadline expiry under
+        # allow_partial degrades honestly ...
         aggregator = OnlineAggregator(make_chain(), SPEC_SUM, seed=5)
-        report = aggregator.until(0.05, deadline=0.0, allow_partial=True)
+        aggregator.step(64)
+        report = aggregator.until(1e-9, deadline=0.0, allow_partial=True)
         assert report.degraded
         assert report.to_dict()["degraded"] is True
+        assert aggregator.accumulator.accepted > 0
+
+    def test_online_aggregator_empty_partial_refused(self):
+        # ... but a budget that expires before a single accepted sample has
+        # no honest partial answer: zero samples would mean a zero-width CI
+        # around 0.0 and a 0/0 achieved error.  Explicit error instead.
+        aggregator = OnlineAggregator(make_chain(), SPEC_SUM, seed=5)
+        with pytest.raises(EmptyResultError, match="no partial estimate"):
+            aggregator.until(0.05, deadline=0.0, allow_partial=True)
+        assert aggregator.accumulator.accepted == 0
 
 
 class TestProcessRungResilience:
