@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-server bench-updates bench-full profile serve
+.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-reuse bench-server bench-updates bench-full profile serve
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -43,6 +43,12 @@ bench-updates:
 # root (see docs/server.md).
 bench-server:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_server.py
+
+# Cross-query sample-cache benchmark (repeated-with-variation aggregates,
+# cached vs cold, 5x speedup + cold-purity hard gates): writes
+# BENCH_reuse.json at the root (see docs/cache.md).
+bench-reuse:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_reuse_cache.py
 
 # Run the sampling server on the default port (see docs/server.md).
 serve:

@@ -1,11 +1,23 @@
-"""Fig. 6a / 6b — online union sampling with sample reuse.
+"""Fig. 6a / 6b — sample reuse, plus the block-pipeline cache tier (6c).
 
 Paper shape: reusing the warm-up walks makes online sampling faster (the gap
 is largest for the workload with the largest union), and the time per accepted
 sample in the reuse phase is much smaller than in the regular phase.
+
+6c extends the reuse idea across queries: the :class:`repro.cache.SampleCache`
+tier materializes the ``SampleBlock`` streams one online aggregation draws and
+serves later aggregates over the same join shape from them — the modern,
+struct-of-arrays successor of the per-sampler reuse pool.  The benchmark
+primes the cache with one cold run and measures a fully cached follow-up,
+asserting it is served from cached blocks alone at the same error target.
 """
 
+from repro.aqp import AggregateSpec, OnlineAggregator
+from repro.cache import SampleCache
 from repro.experiments.figures import run_fig6_reuse_per_sample, run_fig6_reuse_time
+from repro.tpch.workloads import build_uq1
+
+REL_ERROR = 0.05
 
 
 def test_fig6a_time_with_and_without_reuse(benchmark, config, record_table):
@@ -45,3 +57,31 @@ def test_fig6b_time_per_accepted_sample(benchmark, config, record_table):
         # sub-millisecond measurements.
         if row["reused_samples"] > 0 and row["regular_samples"] > 0:
             assert row["reuse_phase_seconds"] <= row["regular_phase_seconds"] * 3.0
+
+
+def test_fig6c_cross_query_block_reuse(benchmark, config):
+    """A cached follow-up aggregate is served from blocks, not fresh draws."""
+    workload = build_uq1(scale_factor=config.scale_factor, seed=config.seed)
+    query = workload.queries[0]
+    cache = SampleCache()
+    cold = OnlineAggregator(
+        query, AggregateSpec("sum", attribute="totalprice"),
+        method="exact-weight", seed=11, cache=cache,
+    )
+    cold_report = cold.until(REL_ERROR)
+    assert cold.cached_samples == 0 and cold.fresh_samples > 0
+
+    def cached_run():
+        aggregator = OnlineAggregator(
+            query, AggregateSpec("avg", attribute="totalprice"),
+            method="exact-weight", seed=12, cache=cache,
+        )
+        return aggregator, aggregator.until(REL_ERROR)
+
+    aggregator, report = benchmark.pedantic(cached_run, rounds=3, iterations=1)
+    # Entirely re-consumed: every sample of the follow-up came from the
+    # stream the cold run published, at the same error target.
+    assert aggregator.cached_samples >= cold.fresh_samples
+    assert aggregator.fresh_samples == 0
+    assert report.max_relative_half_width() <= REL_ERROR
+    assert cold_report.max_relative_half_width() <= REL_ERROR

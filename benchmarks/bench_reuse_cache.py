@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""Benchmark the cross-query sample cache tier (``repro.cache``).
+
+A repeated-with-variation workload — SUM, AVG, a filtered SUM, and a
+GROUP-BY over one join shape — runs twice at the same error target: cold
+(every query draws its own samples) and cached (a primed
+:class:`~repro.cache.SampleCache` serves every query from one shared
+``SampleBlock`` stream).  Both passes run against a pre-warmed prototype
+sampler, so the measured cost is the draw/aggregation work the cache
+actually removes, not one-off structure builds (the server prices those
+separately — see ``docs/cache.md``).  Draws use the Olken backend — the
+paper's setting, where every accepted sample pays a string of rejections —
+so the cold pass re-pays the rejection tax per query while the cached pass
+re-consumes the accepted stream without it.
+
+Two hard gates decide the exit code:
+
+1. **Speedup** — the cached pass must be at least ``SPEEDUP_GATE``× faster
+   than the cold pass at the same CI target (median over rounds).
+2. **Cold purity** — a cache-enabled server answering with ``"cache": false``
+   must produce a payload bit-identical to a server built without a cache.
+   Enabling the tier must not perturb the uncached path by so much as a
+   confidence bound.
+
+Results are written to ``BENCH_reuse.json`` at the repository root.
+
+Run via ``make bench-reuse`` or::
+
+    PYTHONPATH=src python benchmarks/bench_reuse_cache.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from common import machine_info, uq1_workload, write_report
+
+from repro.aqp import AggregateSpec, OnlineAggregator  # noqa: E402
+from repro.cache import SampleCache  # noqa: E402
+from repro.sampling.join_sampler import JoinSampler  # noqa: E402
+from repro.server import SamplingService  # noqa: E402
+
+SPEEDUP_GATE = 5.0
+
+
+def variations():
+    """The repeated-with-variation workload over one join shape."""
+    return [
+        ("sum", AggregateSpec("sum", attribute="totalprice")),
+        ("avg", AggregateSpec("avg", attribute="totalprice")),
+        ("sum_filtered", AggregateSpec(
+            "sum", attribute="totalprice",
+            where=lambda row: row["totalprice"] > 100_000.0,
+        )),
+        ("sum_groupby", AggregateSpec(
+            "sum", attribute="totalprice", group_by="mktsegment",
+        )),
+    ]
+
+
+def run_pass(query, proto, rel_error, cache):
+    """One pass over the variation workload; returns (total s, per-query)."""
+    per_query = []
+    total = 0.0
+    for i, (label, spec) in enumerate(variations()):
+        clone = proto.split(1, seed=500 + i, share_plans=True)[0]
+        started = time.perf_counter()
+        aggregator = OnlineAggregator(
+            query, spec, method="olken", seed=900 + i,
+            join_sampler=clone, cache=cache,
+        )
+        report = aggregator.until(rel_error)
+        elapsed = time.perf_counter() - started
+        total += elapsed
+        assert report.max_relative_half_width() <= rel_error
+        per_query.append({
+            "query": label,
+            "ms": round(elapsed * 1e3, 3),
+            "cached_samples": aggregator.cached_samples,
+            "fresh_samples": aggregator.fresh_samples,
+        })
+    return total, per_query
+
+
+def measure_speedup(query, rel_error, rounds):
+    """Cold vs cached medians over ``rounds`` independent repetitions."""
+    proto = JoinSampler(query, weights="eo", seed=0).warm()
+    cold_times, cached_times = [], []
+    cold_detail = cached_detail = None
+    cache_stats = None
+    for round_index in range(rounds):
+        total, cold_detail = run_pass(query, proto, rel_error, cache=None)
+        cold_times.append(total)
+    for round_index in range(rounds):
+        # Fresh cache per round, primed untimed by earlier traffic.  The
+        # primer runs the most sample-hungry variation (the group-by: every
+        # group must hit the target) so its stream covers every follow-up's
+        # budget.
+        cache = SampleCache()
+        primer = OnlineAggregator(
+            query, AggregateSpec("sum", attribute="totalprice",
+                                 group_by="mktsegment"),
+            method="olken", seed=800,
+            join_sampler=proto.split(1, seed=400, share_plans=True)[0],
+            cache=cache,
+        )
+        primer.until(rel_error)
+        total, cached_detail = run_pass(query, proto, rel_error, cache=cache)
+        cached_times.append(total)
+        cache_stats = cache.stats_dict()
+    cold = statistics.median(cold_times)
+    cached = statistics.median(cached_times)
+    return {
+        "rounds": rounds,
+        "rel_error": rel_error,
+        "cold_ms": round(cold * 1e3, 3),
+        "cached_ms": round(cached * 1e3, 3),
+        "speedup": round(cold / cached, 2) if cached > 0 else float("inf"),
+        "cold_queries": cold_detail,
+        "cached_queries": cached_detail,
+        "cache": cache_stats,
+    }
+
+
+def check_cold_purity(workload):
+    """Gate 2: ``"cache": false`` on a caching server == a cacheless server."""
+    request = {
+        "kind": "aggregate", "query": workload.query_names[0],
+        "aggregate": "sum", "attribute": "totalprice",
+        "rel_error": 0.1, "method": "exact-weight", "seed": 77,
+    }
+    with SamplingService(workload=workload, warm_on_start=False) as plain:
+        reference = plain.handle(dict(request))
+    with SamplingService(workload=workload, warm_on_start=False,
+                         cache=SampleCache()) as caching:
+        # Populate the cache first so opting out has something to ignore.
+        caching.handle(dict(request, seed=78))
+        opted_out = caching.handle(dict(request, cache=False))
+    return opted_out == reference and "cache" not in opted_out["result"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="looser target, fewer rounds (CI smoke)")
+    args = parser.parse_args()
+    # The quick target stays tight enough that the sample demand, not the
+    # per-query fixed overhead, dominates both passes — at looser targets
+    # the ratio measures aggregator construction, not the cache.
+    rel_error = 0.03 if args.quick else 0.02
+    rounds = 2 if args.quick else 5
+
+    workload = uq1_workload()
+    query = workload.queries[0]
+
+    timing = measure_speedup(query, rel_error, rounds)
+    speedup_ok = timing["speedup"] >= SPEEDUP_GATE
+    purity_ok = check_cold_purity(workload)
+
+    report = {
+        **machine_info(),
+        "workload": workload.name,
+        "quick": bool(args.quick),
+        "note": (
+            "gates: the cached pass must beat the cold pass by "
+            f"{SPEEDUP_GATE}x at the same CI target, and 'cache': false on "
+            "a caching server must be bit-identical to a cacheless server"
+        ),
+        **timing,
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_gate_passed": speedup_ok,
+        "cold_path_bit_identical": purity_ok,
+    }
+    write_report("BENCH_reuse.json", report)
+    if not speedup_ok:
+        print(f"FAIL: speedup {timing['speedup']}x below the "
+              f"{SPEEDUP_GATE}x gate", file=sys.stderr)
+    if not purity_ok:
+        print("FAIL: cache-disabled responses diverged from the cacheless "
+              "reference", file=sys.stderr)
+    return 0 if (speedup_ok and purity_ok) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,9 @@ collect_ignore = [
     "bench_aqp.py",
     "bench_parallel.py",
     "bench_pipeline.py",
+    "bench_resilience.py",
+    "bench_reuse_cache.py",
+    "bench_server.py",
     "bench_updates.py",
     "profile_aggregate.py",
     "common.py",

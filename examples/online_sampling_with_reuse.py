@@ -1,44 +1,53 @@
-"""Online union sampling with sample reuse and backtracking (Algorithm 2).
+"""Sample reuse, two generations: Algorithm 2 and the SampleBlock cache tier.
 
-The random-walk warm-up is accurate but pays for its walks; Algorithm 2
-recovers that cost by recycling the warm-up walks as sampling candidates and
-by refining the join/overlap/union estimates on the fly, backtracking over the
+Part 1 — the paper's reuse (Algorithm 2).  The random-walk warm-up is
+accurate but pays for its walks; Algorithm 2 recovers that cost by recycling
+the warm-up walks as sampling candidates and by refining the
+join/overlap/union estimates on the fly, backtracking over the
 already-accepted samples to keep them uniform under the refined parameters.
+This part runs the online sampler on the heavily-overlapping UQ2 workload
+with reuse enabled and disabled.
 
-This example runs the online sampler on the heavily-overlapping UQ2 workload
-with reuse enabled and disabled, and reports:
+Part 2 — cross-query reuse (the block pipeline).  Reuse does not stop at one
+sampler's warm-up: the :class:`repro.cache.SampleCache` tier materializes the
+``SampleBlock`` streams an online aggregation draws and lets *later* queries
+over the same join shape re-consume them — a SUM, an AVG, a filtered SUM,
+and a GROUP-BY all served from one shared draw stream, each still a valid
+Horvitz–Thompson estimate with an honest confidence interval (see
+``docs/cache.md``).  This part runs that repeated-with-variation workload
+cold and cached and reports the cached/fresh split per query.
 
-* total sampling time,
-* how many samples came from the reuse pool,
-* time per accepted sample in the reuse phase vs the regular phase (Fig. 6b),
-* how often the backtracking step fired and how many samples it re-drew.
-
-Run:  python examples/online_sampling_with_reuse.py
+Run:  python examples/online_sampling_with_reuse.py [--quick]
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
-from repro import OnlineUnionSampler, build_uq2
+from repro import (
+    AggregateSpec,
+    OnlineAggregator,
+    OnlineUnionSampler,
+    SampleCache,
+    build_uq1,
+    build_uq2,
+)
 
-SCALE_FACTOR = 0.001
-SAMPLES = 400
 
-
-def run(reuse: bool) -> None:
-    workload = build_uq2(scale_factor=SCALE_FACTOR, seed=5)
+def run_algorithm2(reuse: bool, scale_factor: float, samples: int, walks: int) -> None:
+    workload = build_uq2(scale_factor=scale_factor, seed=5)
     started = time.perf_counter()
     sampler = OnlineUnionSampler(
         workload.queries,
         seed=5,
         reuse=reuse,
         warmup="random-walk",
-        walks_per_join=400,
+        walks_per_join=walks,
         phi=150,
         gamma=0.9,
     )
-    result = sampler.sample(SAMPLES)
+    result = sampler.sample(samples)
     elapsed = time.perf_counter() - started
     stats = result.stats
 
@@ -48,20 +57,78 @@ def run(reuse: bool) -> None:
           f"(warm-up {stats.warmup_seconds:.2f}s)")
     print(f"accepted samples           : {stats.accepted} "
           f"({stats.reused_accepted} from the reuse pool)")
-    print(f"time per accepted sample   : reuse phase {stats.time_per_accepted('reuse') * 1e3:.3f} ms, "
+    print(f"time per accepted sample   : reuse phase "
+          f"{stats.time_per_accepted('reuse') * 1e3:.3f} ms, "
           f"regular phase {stats.time_per_accepted('regular') * 1e3:.3f} ms")
-    print(f"duplicate rejections       : {stats.rejected_duplicate}, revisions: {stats.revisions}")
+    print(f"duplicate rejections       : {stats.rejected_duplicate}, "
+          f"revisions: {stats.revisions}")
     print(f"backtracking               : {stats.backtrack_rounds} rounds, "
           f"{stats.backtrack_removed} samples re-drawn, "
           f"confidence level reached {sampler.confidence_level:.2f}")
     print(f"per-join accepted samples  : {result.sources()}")
 
 
-def main() -> None:
-    print(f"UQ2 (three predicate variants of the same join), N={SAMPLES}")
-    run(reuse=True)
-    run(reuse=False)
+def run_cache_tier(scale_factor: float, rel_error: float) -> None:
+    """A repeated-with-variation workload over one join, cold then cached."""
+    workload = build_uq1(scale_factor=scale_factor, seed=7)
+    query = workload.queries[0]
+    expensive = AggregateSpec(
+        "sum", attribute="totalprice",
+        where=lambda row: row["totalprice"] > 100_000.0,
+    )
+    variations = [
+        ("SUM(totalprice)", AggregateSpec("sum", attribute="totalprice")),
+        ("AVG(totalprice)", AggregateSpec("avg", attribute="totalprice")),
+        ("SUM(totalprice) WHERE >100k", expensive),
+        ("SUM(totalprice) GROUP BY mktsegment",
+         AggregateSpec("sum", attribute="totalprice", group_by="mktsegment")),
+    ]
+
+    print("\n--- cross-query reuse through the SampleBlock cache tier ---")
+    cache = SampleCache()
+    for mode, shared in (("cold", None), ("cached", cache)):
+        total = 0.0
+        lines = []
+        for i, (label, spec) in enumerate(variations):
+            started = time.perf_counter()
+            aggregator = OnlineAggregator(
+                query, spec, method="exact-weight", seed=100 + i, cache=shared,
+            )
+            report = aggregator.until(rel_error)
+            elapsed = time.perf_counter() - started
+            total += elapsed
+            overall = next(iter(report.estimates.values()))
+            lines.append(
+                f"  {label:<36} {elapsed * 1e3:8.2f} ms  "
+                f"cached/fresh {aggregator.cached_samples}/"
+                f"{aggregator.fresh_samples:<6} "
+                f"first estimate {overall.estimate:.1f} "
+                f"(rel ±{overall.relative_half_width:.3f})"
+            )
+        print(f"{mode} run of the 4-query variation workload: {total * 1e3:.2f} ms")
+        for line in lines:
+            print(line)
+    stats = cache.stats_dict()
+    print(f"cache after the run: {stats['entries']} entries, "
+          f"{stats['blocks']} blocks, {stats['samples']} cached samples, "
+          f"{stats['bytes']} bytes")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    args = parser.parse_args(argv)
+    scale = 0.0005 if args.quick else 0.001
+    samples = 80 if args.quick else 400
+    walks = 100 if args.quick else 400
+
+    print(f"UQ2 (three predicate variants of the same join), N={samples}")
+    run_algorithm2(True, scale, samples, walks)
+    run_algorithm2(False, scale, samples, walks)
+    run_cache_tier(scale, rel_error=0.2 if args.quick else 0.1)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from repro.aqp import (
     exact_aggregate,
     supported_backends,
 )
+from repro.cache import SampleCache
 from repro.core import (
     BernoulliUnionSampler,
     DisjointUnionSampler,
@@ -163,6 +164,7 @@ __all__ = [
     "SetUnionSampler",
     "OnlineUnionSampler",
     "UnionSample",
+    "SampleCache",
     "SampleResult",
     "SamplingStats",
     # data substrate

@@ -16,11 +16,13 @@ mutation remain valid for the snapshot they were computed on.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.cache.store import SampleCache, epoch_vector
 from repro.resilience.errors import EmptyResultError, JobDeadlineExceeded
 
 from repro.aqp.estimators import AggregateAccumulator, AggregateReport, AggregateSpec
@@ -67,6 +69,19 @@ class OnlineAggregator:
         shard discards the accumulated state, exactly as in the sequential
         path.  (For process-based fan-out over CPU cores use
         :func:`repro.parallel.parallel_aggregate`.)
+    cache:
+        Optional :class:`~repro.cache.store.SampleCache`.  Each step first
+        re-consumes any cached blocks of this join shape drawn under the
+        current epoch (whole blocks, attempts and weight intact — the same
+        pooling the parallel shard merge performs), and tops up with fresh
+        draws only when the cached stream is exhausted; fresh draws are
+        published back so later aggregators over the same shape reuse them.
+        ``cached_samples`` / ``fresh_samples`` report the split.  With a
+        cold or absent cache the draw stream is byte-for-byte what it would
+        be without ``cache=`` (the cache never consumes RNG state).
+        Requires a single query, ``parallelism == 1``, and a shared-weight
+        JoinSampler backend; an ``auto`` plan that picks another backend
+        simply runs uncached.
     """
 
     def __init__(
@@ -83,6 +98,7 @@ class OnlineAggregator:
         bootstrap_replicates: int = 200,
         parallelism: int = 1,
         join_sampler: Optional[JoinSampler] = None,
+        cache: Optional[SampleCache] = None,
     ) -> None:
         if isinstance(queries, JoinQuery):
             queries = [queries]
@@ -199,6 +215,33 @@ class OnlineAggregator:
                 f"join_sampler= only applies to JoinSampler backends, not "
                 f"{self.backend!r}"
             )
+        # Sample-cache tier: consume/publish shared draw streams (see
+        # repro.cache.store for the validity invariants).
+        self.cache: Optional[SampleCache] = None
+        self._cache_entry = None
+        self._cache_cursor = 0
+        self._cache_weights: Optional[str] = None
+        self.cached_samples = 0
+        self.fresh_samples = 0
+        if cache is not None:
+            if len(self.queries) > 1:
+                raise ValueError(
+                    "cache= applies to a single join query; union streams "
+                    "have per-join ownership and cannot be pooled wholesale"
+                )
+            if self.parallelism > 1:
+                raise ValueError(
+                    "cache= requires parallelism=1; sharded streams merge "
+                    "through the parallel coordinator instead"
+                )
+            if method != "auto" and self.backend not in BACKEND_WEIGHTS:
+                raise ValueError(
+                    f"cache= only supports shared-weight JoinSampler backends "
+                    f"({tuple(BACKEND_WEIGHTS)}), not {self.backend!r}"
+                )
+            if self.backend in BACKEND_WEIGHTS:
+                self.cache = cache
+                self._cache_weights = self.plan.weights or BACKEND_WEIGHTS[self.backend]
         self._db_versions = self._current_versions()
         # One aggregator may serve concurrent callers (the server's shared
         # path): the lock serializes step/estimate, so interleaved runs see
@@ -400,11 +443,24 @@ class OnlineAggregator:
             self.accumulator.reset()
             self._union_consumed = 0
             self._union_shard_consumed = [0] * len(self._union_shard_consumed)
+            # Cached contributions belonged to the old snapshot too: drop the
+            # entry reference and start a fresh consume from block 0 of
+            # whatever entry the new epoch resolves to.
+            self._cache_entry = None
+            self._cache_cursor = 0
+            self.cached_samples = 0
+            self.fresh_samples = 0
             self.epochs_restarted += 1
         self._db_versions = self._current_versions()
 
     def _step_join(self, size: int) -> None:
-        """Draw one block and ingest it column-wise (no per-draw objects)."""
+        """Serve cached blocks first, then draw fresh and ingest column-wise.
+
+        With no cache (or a cold one) the fresh-draw path below is the byte
+        exact PR 7 pipeline: the cache neither consumes RNG state nor changes
+        batch sizes, so cache-disabled and cold-cache runs stay bit-identical
+        to the uncached aggregator.
+        """
         sampler = self._join_sampler
         assert sampler is not None
         total_weight = sampler.weight_function.total_weight
@@ -412,14 +468,94 @@ class OnlineAggregator:
             # Empty join: every attempt would fail; account them directly.
             self.accumulator.observe([], attempts=size, weight=1.0)
             return
+        served = self._consume_cache(total_weight, size)
+        if served >= size:
+            return
         attempts_before = sampler.stats.attempts
-        blocks = [sampler.sample_block(size)]
+        blocks = [sampler.sample_block(size - served)]
         blocks.extend(sampler.pop_buffered_blocks())
         attempts = sampler.stats.attempts - attempts_before
         block = SampleBlock.concat(blocks)
         self.accumulator.ingest_block(
             block.value_columns(self.queries[0]), attempts=attempts, weight=total_weight
         )
+        self.fresh_samples += len(block)
+        self._publish_cache(block, attempts, total_weight)
+
+    def _consume_cache(self, total_weight: float, size: int) -> int:
+        """Ingest unseen cached blocks of this shape until ``size`` is met.
+
+        Whole blocks only — a block's ``(attempts, weight)`` bookkeeping
+        makes its contribution exactly the merge a parallel shard would
+        deliver.  Each block is re-served through
+        :meth:`~repro.sampling.blocks.SampleBlock.reweighted` at the
+        *consumer's* current total weight (equal up to rounding by the epoch
+        pin; the view removes even that drift).  Consumption stops at whole
+        block granularity once the step's demand is covered — the cursor
+        parks mid-stream and later steps resume from it, so a cheap query
+        never pays to ingest a stream far deeper than its error target
+        needs.  The accepted run is concatenated into one block before
+        ingestion: one column gather and one accumulator pass instead of
+        one per published chunk.  Returns samples served.
+        """
+        if self.cache is None:
+            return 0
+        query = self.queries[0]
+        entry = self._cache_entry
+        if entry is None or not entry.alive or entry.epoch != epoch_vector(query):
+            entry = self.cache.entry(query, self._cache_weights)
+            self._cache_entry = entry
+            self._cache_cursor = 0
+        blocks, _ = self.cache.read(entry, self._cache_cursor)
+        served = 0
+        views = []
+        # Geometric gulp: drain at least as much as this aggregator has
+        # already ingested, not just the step's ask.  Deep streams are
+        # consumed in O(log n) consume/estimate rounds instead of being
+        # nickel-and-dimed through the step schedule's batch cap.
+        demand = max(size, self.cached_samples + self.fresh_samples)
+        for block in blocks:
+            if served >= demand:
+                break
+            self._cache_cursor += 1
+            if block.weights is not None or not math.isclose(
+                block.weight, total_weight, rel_tol=1e-9
+            ):
+                # Defensive: a block from another distribution must never be
+                # pooled; skipping it is safe (its draws are simply unused).
+                continue
+            views.append(block.reweighted(total_weight))
+            served += len(block)
+        if views:
+            merged = SampleBlock.concat(views)
+            self.accumulator.ingest_block(
+                merged.value_columns(query),
+                attempts=merged.attempts,
+                weight=merged.weight,
+            )
+        self.cached_samples += served
+        return served
+
+    def _publish_cache(self, block: SampleBlock, attempts: int, total_weight: float) -> None:
+        """Share a fresh draw batch through the cache (if one is attached).
+
+        The published block carries the step's true attempt count and shared
+        weight; the cursor jumps past it so this aggregator never re-ingests
+        its own contribution (invariant 3 in :mod:`repro.cache.store`).
+        """
+        if self.cache is None or self._cache_entry is None:
+            return
+        if block.weights is not None:
+            return
+        shared = SampleBlock(
+            relation_order=block.relation_order,
+            positions=block.positions,
+            attempts=int(attempts),
+            weight=float(total_weight),
+        )
+        self.cache.publish(self._cache_entry, shared)
+        if self._cache_entry.alive:
+            self._cache_cursor = len(self._cache_entry.blocks)
 
     def _step_wander(self, size: int) -> None:
         if self._walker_shards:

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Sequence
 from repro.analysis.errors import mean_ratio_error
 from repro.aqp import AggregateSpec, OnlineAggregator
 from repro.aqp.online import planning_budget
+from repro.cache import SampleCache
 from repro.core.online_sampler import OnlineUnionSampler
 from repro.core.union_sampler import (
     BernoulliUnionSampler,
@@ -154,6 +155,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="on an exceeded deadline, report the current "
                            "(degraded) estimate with its achieved — not "
                            "requested — relative error instead of failing")
+    aggregate.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                           default=False,
+                           help="share drawn sample blocks across runs "
+                           "through the sample-cache tier (see docs/cache.md); "
+                           "single-join targets with a JoinSampler backend "
+                           "only, incompatible with --workers > 1")
+    aggregate.add_argument("--repeat", type=int, default=1,
+                           help="run the aggregate N times with seeds "
+                           "seed..seed+N-1 and report the last run; with "
+                           "--cache later runs re-consume the cached stream")
     aggregate.add_argument("--json", action="store_true",
                            help="print a machine-readable JSON report")
 
@@ -185,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-warm", action="store_true",
                        help="skip warming per-query prototypes at startup "
                        "(they are then built lazily on first use)")
+    serve.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="enable the cross-request sample cache tier "
+                       "(cached aggregate requests price near zero; stats "
+                       "under /stats; see docs/cache.md).  Off by default "
+                       "because shared draws make a response depend on the "
+                       "requests that ran before it")
+    serve.add_argument("--cache-bytes", type=int, default=None,
+                       help="cache memory budget in bytes before LRU "
+                       "eviction (default 64 MiB; requires --cache)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     return parser
@@ -367,6 +388,23 @@ def command_aggregate(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
+    if args.cache and args.workers > 1:
+        print(
+            "error: --cache shares one sequential draw stream and cannot "
+            "feed sharded workers; drop --cache or use --workers 1",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cache and args.target == "union":
+        print(
+            "error: --cache applies to single-join aggregates; union streams "
+            "have per-join ownership and cannot be pooled (drop --cache)",
+            file=sys.stderr,
+        )
+        return 2
     workload = build_workload(args.workload, args.scale_factor, args.overlap_scale, args.seed)
     if args.target == "union":
         queries = workload.queries
@@ -398,51 +436,60 @@ def command_aggregate(args: argparse.Namespace) -> int:
         attribute=args.attribute,
         group_by=args.group_by,
     )
-    try:
-        aggregator = OnlineAggregator(
-            queries,
-            spec,
-            method=args.method,
-            seed=args.seed,
-            confidence=args.confidence,
-            ci_method=args.ci,
-            parallelism=args.workers,
-            # Prime the cost-based planner with the sample demand the error
-            # target implies (setup-heavy backends amortize over tight runs).
-            target_samples=planning_budget(args.rel_error, args.confidence),
-        )
-    except ValueError as error:
-        # e.g. an attribute missing from the output schema, a backend that
-        # cannot sample the query shape, or unfiltered COUNT(*) over a union.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    try:
-        report = aggregator.until(
-            args.rel_error,
-            max_attempts=args.max_attempts,
-            deadline=args.deadline,
-            allow_partial=args.allow_partial,
-        )
-    except ValueError as error:
-        # e.g. a negative --rel-error or --deadline.
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except JobDeadlineExceeded as error:
-        # Out of time, not out of options: exit code 3 distinguishes an
-        # exceeded deadline (retry with more time or --allow-partial) from
-        # a run that cannot converge at all.
-        print(f"error: {error}", file=sys.stderr)
-        return 3
-    except EmptyResultError as error:
-        # --allow-partial with zero accepted samples: there is no honest
-        # partial estimate (a zero-width CI around 0.0 would be a lie), so
-        # this is an out-of-time failure, same exit code as the deadline.
-        print(f"error: {error}", file=sys.stderr)
-        return 3
-    except RuntimeError as error:
-        # Budget exhausted before the error target: report, don't traceback.
-        print(f"error: {error}", file=sys.stderr)
-        return 1
+    cache = SampleCache() if args.cache else None
+    # --repeat N replays the run with derived seeds; with --cache the later
+    # runs re-consume the blocks the first run published, which is the whole
+    # demonstration — the reported run is the last (most cached) one.
+    for run_index in range(args.repeat):
+        try:
+            aggregator = OnlineAggregator(
+                queries,
+                spec,
+                method=args.method,
+                seed=args.seed + run_index,
+                confidence=args.confidence,
+                ci_method=args.ci,
+                parallelism=args.workers,
+                # Prime the cost-based planner with the sample demand the
+                # error target implies (setup-heavy backends amortize over
+                # tight runs).
+                target_samples=planning_budget(args.rel_error, args.confidence),
+                cache=cache,
+            )
+        except ValueError as error:
+            # e.g. an attribute missing from the output schema, a backend that
+            # cannot sample the query shape, or unfiltered COUNT(*) over a
+            # union.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            report = aggregator.until(
+                args.rel_error,
+                max_attempts=args.max_attempts,
+                deadline=args.deadline,
+                allow_partial=args.allow_partial,
+            )
+        except ValueError as error:
+            # e.g. a negative --rel-error or --deadline.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except JobDeadlineExceeded as error:
+            # Out of time, not out of options: exit code 3 distinguishes an
+            # exceeded deadline (retry with more time or --allow-partial) from
+            # a run that cannot converge at all.
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+        except EmptyResultError as error:
+            # --allow-partial with zero accepted samples: there is no honest
+            # partial estimate (a zero-width CI around 0.0 would be a lie), so
+            # this is an out-of-time failure, same exit code as the deadline.
+            print(f"error: {error}", file=sys.stderr)
+            return 3
+        except RuntimeError as error:
+            # Budget exhausted before the error target: report, don't
+            # traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     target = queries[0].name if args.target == "join" else f"union of {len(queries)} joins"
     if args.json:
@@ -458,6 +505,13 @@ def command_aggregate(args: argparse.Namespace) -> int:
             "epochs_restarted": aggregator.epochs_restarted,
             "report": report.to_dict(),
         }
+        if cache is not None:
+            payload["cache"] = {
+                "runs": args.repeat,
+                "cached_samples": aggregator.cached_samples,
+                "fresh_samples": aggregator.fresh_samples,
+                **cache.stats_dict(),
+            }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -465,6 +519,12 @@ def command_aggregate(args: argparse.Namespace) -> int:
           f"method={args.method} backend={aggregator.backend}")
     print(f"aggregate          : {spec.describe()}")
     print(f"attempts/accepted  : {report.attempts} / {report.accepted}")
+    if cache is not None:
+        stats = cache.stats_dict()
+        print(f"cache              : cached {aggregator.cached_samples} / "
+              f"fresh {aggregator.fresh_samples} samples in the reported run "
+              f"({stats['entries']} entries, {stats['blocks']} blocks, "
+              f"{stats['bytes']} bytes)")
     if report.degraded:
         achieved = report.max_relative_half_width()
         achieved_text = "inf" if achieved == float("inf") else f"{achieved:.4f}"
@@ -502,6 +562,18 @@ def command_serve(args: argparse.Namespace) -> int:
     if args.port < 0 or args.port > 65535:
         print(f"error: --port must be in [0, 65535], got {args.port}", file=sys.stderr)
         return 2
+    if args.cache_bytes is not None and not args.cache:
+        print("error: --cache-bytes sizes the sample cache; add --cache",
+              file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache:
+        try:
+            cache = (SampleCache() if args.cache_bytes is None
+                     else SampleCache(max_bytes=args.cache_bytes))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         service = SamplingService(
             workload_name=args.workload,
@@ -515,6 +587,7 @@ def command_serve(args: argparse.Namespace) -> int:
                 max_inflight=args.max_inflight,
             ),
             warm_on_start=not args.no_warm,
+            cache=cache,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

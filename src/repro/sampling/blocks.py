@@ -104,21 +104,72 @@ class SampleBlock:
         sampler's buffer must not double-count attempts the caller already
         accounted for.
         """
-        head = SampleBlock(
+        return (
+            self.slice(0, count, attempts=self.attempts),
+            self.slice(count, len(self), attempts=0),
+        )
+
+    # ------------------------------------------------------------------- views
+    def slice(self, start: int, stop: int, *, attempts: int = 0) -> "SampleBlock":
+        """Zero-copy view of samples ``[start:stop)``.
+
+        Position (and per-sample weight) arrays are numpy basic slices of the
+        parent's — no data moves.  ``attempts`` defaults to 0 because a
+        partial view has no attempt accounting of its own: Horvitz–Thompson
+        attempt counts belong to whole draw batches, and callers that consume
+        a full block must say so explicitly (see :meth:`split`).
+        """
+        return SampleBlock(
             relation_order=self.relation_order,
-            positions={n: p[:count] for n, p in self.positions.items()},
+            positions={n: p[start:stop] for n, p in self.positions.items()},
+            attempts=attempts,
+            weight=self.weight,
+            weights=self.weights[start:stop] if self.weights is not None else None,
+        )
+
+    def reweighted(self, weight: float) -> "SampleBlock":
+        """View of this block carrying ``weight`` as its shared HT weight.
+
+        Used by the sample-cache tier: a cached block is re-served with the
+        *consumer's* current weight-function total, so cached contributions
+        enter the accumulator with exactly the value a fresh draw under the
+        same snapshot would use (no publisher/consumer rounding drift).  Only
+        shared-weight (accept/reject) blocks can be reweighted this way —
+        per-sample weight arrays (wander join) encode path probabilities that
+        a scalar cannot replace.
+        """
+        if self.weights is not None:
+            raise ValueError(
+                "cannot reweight a block with per-sample weights; the "
+                "per-path 1/p(t) values are not a shared scalar"
+            )
+        return SampleBlock(
+            relation_order=self.relation_order,
+            positions=self.positions,
             attempts=self.attempts,
-            weight=self.weight,
-            weights=self.weights[:count] if self.weights is not None else None,
+            weight=float(weight),
         )
-        tail = SampleBlock(
-            relation_order=self.relation_order,
-            positions={n: p[count:] for n, p in self.positions.items()},
-            attempts=0,
-            weight=self.weight,
-            weights=self.weights[count:] if self.weights is not None else None,
-        )
-        return head, tail
+
+    def freeze(self) -> "SampleBlock":
+        """Mark every array read-only and return ``self``.
+
+        Cache-resident blocks are shared by every consumer of the stream;
+        freezing turns an accidental in-place edit (which would silently
+        corrupt other requests' answers) into an immediate ``ValueError``.
+        """
+        for array in self.positions.values():
+            array.flags.writeable = False
+        if self.weights is not None:
+            self.weights.flags.writeable = False
+        return self
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the position/weight arrays (eviction accounting)."""
+        total = sum(int(p.nbytes) for p in self.positions.values())
+        if self.weights is not None:
+            total += int(self.weights.nbytes)
+        return total
 
     # ------------------------------------------------------------- consumption
     def value_columns(self, query) -> List[np.ndarray]:

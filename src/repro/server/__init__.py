@@ -6,7 +6,11 @@ answer epoch-consistent, admission-controlled, and bit-identical to the
 same request served sequentially.  See ``docs/server.md``.
 """
 
-from repro.server.admission import AdmissionController, AdmissionLimits
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    AdmissionTicket,
+)
 from repro.server.http import (
     SamplingHTTPServer,
     ServerClient,
@@ -20,6 +24,7 @@ __all__ = [
     "ERROR_CODES",
     "AdmissionController",
     "AdmissionLimits",
+    "AdmissionTicket",
     "RequestError",
     "SamplingHTTPServer",
     "SamplingService",

@@ -14,8 +14,18 @@ the *cheapest* backend that could serve it — rejecting on an expensive
 backend the planner would never pick would be wrong — and requests that
 ride the server's warm per-query prototypes are charged only the marginal
 per-sample term, because the O(rows) setup they would otherwise pay is
-already resident.  Priced seconds are model units, not a wall-clock promise;
+already resident.  Samples the cache tier already holds
+(``cached_samples``) are likewise free: re-consuming a materialized block
+is an array gather, not a draw, so a fully cached warm request prices at
+(near) zero.  Priced seconds are model units, not a wall-clock promise;
 they only need to rank requests consistently, exactly like the planner.
+
+Accounting is transactional: :meth:`AdmissionController.admit` checks every
+limit and reserves the slot *and* the priced seconds in one locked step,
+returning an :class:`AdmissionTicket` whose :meth:`~AdmissionTicket.release`
+the service calls in a ``finally`` — so a request that fails (or dies) after
+admission always returns its slot and its priced seconds, and ``/stats``
+inflight drains back to zero no matter how requests end.
 """
 
 from __future__ import annotations
@@ -50,6 +60,28 @@ class AdmissionLimits:
     max_inflight: int = 32
 
 
+class AdmissionTicket:
+    """One admitted request's reservation: a slot plus its priced seconds.
+
+    ``release()`` is idempotent — the service calls it in a ``finally`` so
+    double-release on a convoluted error path can never drive the inflight
+    accounting negative.
+    """
+
+    __slots__ = ("priced_seconds", "_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController", priced_seconds: float) -> None:
+        self.priced_seconds = priced_seconds
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self)
+
+
 class AdmissionController:
     """Price-and-count gatekeeper in front of the sampling service."""
 
@@ -62,6 +94,7 @@ class AdmissionController:
         self.model = model
         self._lock = threading.Lock()
         self._inflight = 0
+        self._inflight_seconds = 0.0
         self.admitted = 0
         self.rejected = 0
 
@@ -72,6 +105,7 @@ class AdmissionController:
         sample_size: int,
         *,
         warm: bool = False,
+        cached_samples: int = 0,
     ) -> float:
         """Cheapest-backend cost of the request, in cost-model seconds.
 
@@ -79,10 +113,14 @@ class AdmissionController:
         sampler visits every join).  ``warm=True`` subtracts the setup term
         — ``estimate_backend_costs(q, 0)`` is exactly the setup-only price —
         because requests served from a warm prototype never pay it.
+        ``cached_samples`` discounts the sample demand: draws the cache
+        tier already materialized under the current epoch cost a gather,
+        not a walk, so a fully cached warm request prices at zero.
         """
+        effective = max(int(sample_size) - max(int(cached_samples), 0), 0)
         total = 0.0
         for query in queries:
-            costs = estimate_backend_costs(query, sample_size, model=self.model)
+            costs = estimate_backend_costs(query, effective, model=self.model)
             if warm:
                 setup = estimate_backend_costs(query, 0, model=self.model)
                 costs = {name: cost - setup[name] for name, cost in costs.items()}
@@ -90,16 +128,21 @@ class AdmissionController:
         return total
 
     # ------------------------------------------------------------------ admit
-    def check(
+    def admit(
         self,
         queries: Sequence[JoinQuery],
         sample_size: int,
         *,
         warm: bool = False,
-    ) -> float:
-        """Raise ``admission-rejected`` when the request busts a limit.
+        cached_samples: int = 0,
+    ) -> AdmissionTicket:
+        """Admit the request or raise ``admission-rejected``.
 
-        Returns the priced cost on success so the caller can report it.
+        Checks the sample budget, the priced-seconds ceiling, and the
+        inflight cap, then reserves the slot and the priced seconds in one
+        locked step.  The returned ticket MUST be released in a ``finally``:
+        the reservation survives any exception the request raises later, and
+        only ``release()`` gives it back.
         """
         limits = self.limits
         if sample_size > limits.max_samples:
@@ -114,7 +157,9 @@ class AdmissionController:
                 max_samples=limits.max_samples,
                 requested_samples=sample_size,
             )
-        priced = self.price(queries, sample_size, warm=warm)
+        priced = self.price(
+            queries, sample_size, warm=warm, cached_samples=cached_samples
+        )
         if priced > limits.max_request_seconds:
             with self._lock:
                 self.rejected += 1
@@ -127,11 +172,41 @@ class AdmissionController:
                 max_request_seconds=limits.max_request_seconds,
                 priced_seconds=priced,
             )
-        return priced
+        with self._lock:
+            if self._inflight >= limits.max_inflight:
+                self.rejected += 1
+                raise RequestError(
+                    "admission-rejected",
+                    f"server already has {self._inflight} requests in flight "
+                    f"(limit {limits.max_inflight}); retry later",
+                    limit="max_inflight",
+                    max_inflight=limits.max_inflight,
+                )
+            self._inflight += 1
+            self._inflight_seconds += priced
+            self.admitted += 1
+        return AdmissionTicket(self, priced)
 
-    # --------------------------------------------------------------- inflight
+    # Backwards-compatible single-purpose entry points.  ``check`` prices and
+    # validates without reserving; the slot pair is the legacy protocol that
+    # leaked reservations when an exception hit between acquire and release —
+    # new code goes through admit()/ticket.release() instead.
+    def check(
+        self,
+        queries: Sequence[JoinQuery],
+        sample_size: int,
+        *,
+        warm: bool = False,
+        cached_samples: int = 0,
+    ) -> float:
+        ticket = self.admit(
+            queries, sample_size, warm=warm, cached_samples=cached_samples
+        )
+        ticket.release()
+        return ticket.priced_seconds
+
     def acquire_slot(self) -> None:
-        """Claim a concurrency slot or raise ``admission-rejected``."""
+        """Claim a bare concurrency slot (no priced seconds) or reject."""
         with self._lock:
             if self._inflight >= self.limits.max_inflight:
                 self.rejected += 1
@@ -150,10 +225,29 @@ class AdmissionController:
             if self._inflight > 0:
                 self._inflight -= 1
 
+    # --------------------------------------------------------------- internals
+    def _release(self, ticket: AdmissionTicket) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+            self._inflight_seconds = max(
+                self._inflight_seconds - ticket.priced_seconds, 0.0
+            )
+            if self._inflight == 0:
+                # Snap float accumulation drift: an idle controller reports
+                # exactly 0.0 priced seconds inflight, not 1e-18.
+                self._inflight_seconds = 0.0
+
     @property
     def inflight(self) -> int:
         with self._lock:
             return self._inflight
 
+    @property
+    def inflight_seconds(self) -> float:
+        """Priced seconds currently reserved by admitted, unfinished requests."""
+        with self._lock:
+            return self._inflight_seconds
 
-__all__ = ["AdmissionController", "AdmissionLimits"]
+
+__all__ = ["AdmissionController", "AdmissionLimits", "AdmissionTicket"]

@@ -54,6 +54,7 @@ import numpy as np
 from repro.aqp import AggregateSpec, OnlineAggregator
 from repro.aqp.online import planning_budget
 from repro.aqp.planner import BACKEND_WEIGHTS
+from repro.cache.store import SampleCache
 from repro.joins.query import JoinQuery
 from repro.parallel.pool import ParallelSamplerPool
 from repro.parallel.shards import observed_versions
@@ -119,6 +120,13 @@ class SamplingService:
         Draw granularity of the warm sample path; each chunk boundary is an
         epoch checkpoint and a deadline checkpoint, so smaller chunks react
         faster to mutations at slightly more bookkeeping.
+    cache:
+        Optional :class:`~repro.cache.store.SampleCache` shared by every
+        warm aggregate request (see ``docs/cache.md``).  Off by default:
+        a shared cache makes a response depend on which requests ran
+        before it, so it is strictly opt-in — without it every response
+        stays a pure function of ``(request, snapshot)``.  Individual
+        requests opt out with ``"cache": false`` even on a caching server.
     """
 
     def __init__(
@@ -135,6 +143,7 @@ class SamplingService:
         max_epoch_restarts: int = 3,
         warm_on_start: bool = True,
         sample_chunk: int = 1024,
+        cache: Optional[SampleCache] = None,
     ) -> None:
         if sample_chunk < 1:
             raise ValueError(f"sample_chunk must be >= 1, got {sample_chunk}")
@@ -145,10 +154,12 @@ class SamplingService:
         # request shares the already-loaded relations and warm structures.
         self.pool = ParallelSamplerPool(workers=workers, execution="thread")
         self.admission = admission or AdmissionController(limits)
+        self.cache = cache
         self.max_epoch_restarts = int(max_epoch_restarts)
         self.sample_chunk = int(sample_chunk)
         self._prototypes: Dict[Tuple[str, str], JoinSampler] = {}
         self._proto_lock = threading.Lock()
+        self._proto_builds: Dict[Tuple[str, str], threading.Lock] = {}
         self._stats_lock = threading.Lock()
         self._counters: Dict[str, int] = {
             "requests": 0,
@@ -158,6 +169,9 @@ class SamplingService:
             "epoch_restarts": 0,
             "warm_requests": 0,
             "pool_requests": 0,
+            "prototype_builds": 0,
+            "cache_requests": 0,
+            "cache_invalidations": 0,
         }
         self._closed = False
         #: test hook: called after every warm-path chunk, before its epoch
@@ -187,14 +201,31 @@ class SamplingService:
         The prototype's own stream is never drawn from — request clones are
         seeded explicitly — so its RNG state carries no cross-request
         coupling.
+
+        Builds are guarded per key: the global registry lock only maps a key
+        to its build lock (O(1)), and the O(rows) warm build itself runs
+        under the key's own lock.  Concurrent first requests for the *same*
+        (query, weights) serialize — exactly one builds, the rest adopt it —
+        while first requests for *different* keys build in parallel instead
+        of queueing on one global lock.
         """
         key = (query.name, weights)
         with self._proto_lock:
             proto = self._prototypes.get(key)
-            if proto is None:
-                proto = JoinSampler(query, weights=weights, seed=0).warm()
+            if proto is not None:
+                return proto
+            build_lock = self._proto_builds.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._proto_lock:
+                proto = self._prototypes.get(key)
+            if proto is not None:
+                return proto
+            proto = JoinSampler(query, weights=weights, seed=0).warm()
+            with self._stats_lock:
+                self._counters["prototype_builds"] += 1
+            with self._proto_lock:
                 self._prototypes[key] = proto
-        return proto
+            return proto
 
     @property
     def warm_prototypes(self) -> int:
@@ -218,15 +249,13 @@ class SamplingService:
                 result = self._handle_stats()
             elif kind == "mutate":
                 result = self._handle_mutate(request)
+            elif kind == "sample":
+                # sample/aggregate admit themselves: the ticket (slot +
+                # priced seconds) is reserved atomically once the request is
+                # fully priced and released in the handler's own finally.
+                result = self._handle_sample(request)
             else:
-                self.admission.acquire_slot()
-                try:
-                    if kind == "sample":
-                        result = self._handle_sample(request)
-                    else:
-                        result = self._handle_aggregate(request)
-                finally:
-                    self.admission.release_slot()
+                result = self._handle_aggregate(request)
         except RequestError as error:
             return self._error(error)
         except JobDeadlineExceeded as error:
@@ -278,20 +307,30 @@ class SamplingService:
         max_attempts = get_int(request, "max_attempts", 1_000_000, minimum=1)
         union = len(queries) > 1
         warm = not union and workers == 1
-        priced = self.admission.check(queries, count, warm=warm)
-        with self._stats_lock:
-            self._counters["warm_requests" if warm else "pool_requests"] += 1
+        ticket = self.admission.admit(queries, count, warm=warm)
+        try:
+            with self._stats_lock:
+                self._counters["warm_requests" if warm else "pool_requests"] += 1
 
-        if warm:
-            result = self._sample_warm(
-                queries[0], count, seed, weights, deadline, allow_partial, max_attempts
-            )
-        else:
-            result = self._sample_pooled(
-                queries, count, seed, weights, workers, deadline,
-                allow_partial, max_attempts, union,
-            )
-        result.update(kind="sample", query=label, seed=seed, priced_seconds=priced)
+            if warm:
+                result = self._sample_warm(
+                    queries[0], count, seed, weights, deadline, allow_partial,
+                    max_attempts,
+                )
+            else:
+                result = self._sample_pooled(
+                    queries, count, seed, weights, workers, deadline,
+                    allow_partial, max_attempts, union,
+                )
+        finally:
+            # The reservation must drain even when the draw fails mid-flight
+            # (deadline, epoch exhaustion, fault injection): leaking it here
+            # would wedge the inflight count until restart.
+            ticket.release()
+        result.update(
+            kind="sample", query=label, seed=seed,
+            priced_seconds=ticket.priced_seconds,
+        )
         with self._stats_lock:
             self._counters["samples_served"] += len(result["values"])
         return result
@@ -462,47 +501,70 @@ class SamplingService:
         # target implies — the same budget the planner amortizes setup over.
         budget = planning_budget(rel_error, confidence)
         warm = not union and workers == 1 and method in BACKEND_WEIGHTS
-        priced = self.admission.check(queries, budget, warm=warm)
-        with self._stats_lock:
-            self._counters["warm_requests" if warm else "pool_requests"] += 1
-
-        spec = AggregateSpec(aggregate, attribute=attribute, group_by=group_by)
-        if warm:
-            # Two independent streams: one seeds the prototype clone, one the
-            # aggregator's own draws — deterministic per request, and the
-            # prototype's stream is untouched either way.
-            clone_rng, agg_rng = spawn_rngs(seed, 2)
-            clone = self._prototype(queries[0], BACKEND_WEIGHTS[method]).split(
-                1, seed=clone_rng, share_plans=True
-            )[0]
-            aggregator = OnlineAggregator(
-                queries,
-                spec,
-                method=method,
-                seed=agg_rng,
-                confidence=confidence,
-                ci_method=ci_method,
-                target_samples=budget,
-                join_sampler=clone,
+        use_cache = get_bool(request, "cache", self.cache is not None)
+        if use_cache and self.cache is None:
+            raise RequestError(
+                "invalid-request",
+                "this server runs without a sample cache; start it with "
+                "--cache to enable cached aggregates",
             )
-        else:
-            aggregator = OnlineAggregator(
-                queries,
-                spec,
-                method=method,
-                seed=seed,
-                confidence=confidence,
-                ci_method=ci_method,
-                parallelism=workers,
-                target_samples=budget,
-            )
-        report = aggregator.until(
-            rel_error,
-            max_attempts=max_attempts,
-            deadline=deadline,
-            allow_partial=allow_partial,
+        # The cache tier rides the warm path only: shared-weight prototype
+        # backends over a single join.  Anything else runs uncached.
+        cache = self.cache if (use_cache and warm) else None
+        cached_available = 0
+        if cache is not None:
+            entry = cache.peek(queries[0], BACKEND_WEIGHTS[method])
+            if entry is not None:
+                cached_available = min(entry.samples, budget)
+        ticket = self.admission.admit(
+            queries, budget, warm=warm, cached_samples=cached_available
         )
-        return {
+        try:
+            with self._stats_lock:
+                self._counters["warm_requests" if warm else "pool_requests"] += 1
+                if cache is not None:
+                    self._counters["cache_requests"] += 1
+
+            spec = AggregateSpec(aggregate, attribute=attribute, group_by=group_by)
+            if warm:
+                # Two independent streams: one seeds the prototype clone, one
+                # the aggregator's own draws — deterministic per request, and
+                # the prototype's stream is untouched either way.
+                clone_rng, agg_rng = spawn_rngs(seed, 2)
+                clone = self._prototype(queries[0], BACKEND_WEIGHTS[method]).split(
+                    1, seed=clone_rng, share_plans=True
+                )[0]
+                aggregator = OnlineAggregator(
+                    queries,
+                    spec,
+                    method=method,
+                    seed=agg_rng,
+                    confidence=confidence,
+                    ci_method=ci_method,
+                    target_samples=budget,
+                    join_sampler=clone,
+                    cache=cache,
+                )
+            else:
+                aggregator = OnlineAggregator(
+                    queries,
+                    spec,
+                    method=method,
+                    seed=seed,
+                    confidence=confidence,
+                    ci_method=ci_method,
+                    parallelism=workers,
+                    target_samples=budget,
+                )
+            report = aggregator.until(
+                rel_error,
+                max_attempts=max_attempts,
+                deadline=deadline,
+                allow_partial=allow_partial,
+            )
+        finally:
+            ticket.release()
+        result = {
             "kind": "aggregate",
             "query": label,
             "aggregate": spec.describe(),
@@ -514,9 +576,15 @@ class SamplingService:
             "seed": seed,
             "rel_error": rel_error,
             "epochs_restarted": aggregator.epochs_restarted,
-            "priced_seconds": priced,
+            "priced_seconds": ticket.priced_seconds,
             "report": jsonify(report.to_dict()),
         }
+        if cache is not None:
+            result["cache"] = {
+                "cached_samples": aggregator.cached_samples,
+                "fresh_samples": aggregator.fresh_samples,
+            }
+        return result
 
     # ----------------------------------------------------------------- mutate
     def _handle_mutate(self, request: Mapping[str, object]) -> Dict[str, object]:
@@ -558,6 +626,13 @@ class SamplingService:
                 )
             deleted += relation.delete_rows(positions)
             versions.append(relation.version)
+        if self.cache is not None:
+            # Eager, incremental invalidation: only streams whose join
+            # touches the mutated relation drop; the epoch pin would catch
+            # them lazily anyway, this just frees the bytes now.
+            dropped = self.cache.drop_relation(name)
+            with self._stats_lock:
+                self._counters["cache_invalidations"] += dropped
         return {
             "kind": "mutate",
             "relation": name,
@@ -593,10 +668,16 @@ class SamplingService:
                 "admitted": self.admission.admitted,
                 "rejected": self.admission.rejected,
                 "inflight": self.admission.inflight,
+                "inflight_seconds": self.admission.inflight_seconds,
                 "max_request_seconds": self.admission.limits.max_request_seconds,
                 "max_samples": self.admission.limits.max_samples,
                 "max_inflight": self.admission.limits.max_inflight,
             },
+            "cache": (
+                {"enabled": True, **self.cache.stats_dict()}
+                if self.cache is not None
+                else {"enabled": False}
+            ),
             "pool": {
                 "workers": self.pool.workers,
                 "epochs_restarted": self.pool.epochs_restarted,

@@ -67,6 +67,14 @@ CASES = {
         "--attribute", "totalprice", "--rel-error", "0.1",
         "--workers", "2", "--json", *COMMON,
     ],
+    # Run 2 re-consumes the stream run 1 published: the golden pins the
+    # cached/fresh split (run 2 fully cached) along with the estimates.
+    "cli_aggregate_cached_repeat.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--rel-error", "0.1",
+        "--method", "exact-weight", "--cache", "--repeat", "2",
+        "--json", *COMMON,
+    ],
     # ----------------------------------------------------------- error paths
     # Invalid flag combinations must exit non-zero with a one-line stderr
     # message, never a traceback.
@@ -96,6 +104,12 @@ CASES = {
     ],
     "cli_err_unknown_join_name.json": [
         "aggregate", "--workload", "UQ1", "--query", "NOPE", *COMMON,
+    ],
+    # The cache serves one sequential draw stream; sharded workers would
+    # double-consume it, so the combination is refused up front.
+    "cli_err_aggregate_cache_workers.json": [
+        "aggregate", "--workload", "UQ1", "--aggregate", "sum",
+        "--attribute", "totalprice", "--cache", "--workers", "2", *COMMON,
     ],
     # ------------------------------------------------- resilience / deadlines
     # A zero deadline is the deterministic way to pin the deadline-exceeded

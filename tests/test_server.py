@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro.aqp import AggregateSpec, OnlineAggregator
+from repro.cache import SampleCache
 from repro.joins.conditions import JoinCondition, OutputAttribute
 from repro.joins.query import JoinQuery
 from repro.relational.relation import Relation
@@ -498,3 +499,187 @@ class TestServiceLifecycle:
 
     def test_warm_on_start_builds_prototypes(self, service):
         assert service.warm_prototypes >= len(service.workload.queries)
+
+
+class TestAdmissionLeakRegression:
+    """Satellite bugfix: failed requests must drain their reservations.
+
+    The pre-fix controller acquired the inflight slot and priced seconds on
+    admission but only gave them back on the success path — every failing
+    aggregate leaked one slot until the server wedged at ``max_inflight``.
+    The ticket is now released in a ``finally``; these hammers pin that.
+    """
+
+    def failing_aggregate(self, svc, seed):
+        # max_attempts=1 cannot reach a 1% error target, but its budget
+        # passes admission fine: the aggregator raises RuntimeError *after*
+        # admission, which is exactly the leak's trigger path.
+        return svc.handle({
+            "kind": "aggregate", "query": svc.workload.query_names[0],
+            "aggregate": "sum", "attribute": "totalprice",
+            "rel_error": 0.01, "seed": seed,
+            "method": "exact-weight", "max_attempts": 1,
+        })
+
+    def admission_stats(self, svc):
+        return svc.handle({"kind": "stats"})["result"]["admission"]
+
+    def test_sequential_failure_hammer_drains_reservations(self):
+        with make_service(warm_on_start=False,
+                          limits=AdmissionLimits(max_inflight=2)) as svc:
+            # More failures than inflight slots: with the leak, request 3
+            # would already bounce on max_inflight instead of failing with
+            # the real error.
+            for seed in range(6):
+                response = self.failing_aggregate(svc, seed)
+                assert not response["ok"]
+                assert response["error"]["code"] == "internal"
+            stats = self.admission_stats(svc)
+            assert stats["inflight"] == 0
+            assert stats["inflight_seconds"] == 0.0
+            # A well-formed request still gets through afterwards.
+            ok = svc.handle({
+                "kind": "sample", "query": svc.workload.query_names[0],
+                "count": 4, "seed": 1,
+            })
+            assert ok["ok"]
+
+    def test_concurrent_failure_hammer_drains_reservations(self):
+        with make_service(warm_on_start=False) as svc:
+            responses = run_concurrently(
+                lambda i: self.failing_aggregate(svc, i), 8
+            )
+            # Every request must resolve to a real error (internal) or an
+            # honest admission rejection — and either way, drain fully.
+            assert all(not r["ok"] for r in responses)
+            assert all(r["error"]["code"] in ("internal", "admission-rejected")
+                       for r in responses)
+            stats = self.admission_stats(svc)
+            assert stats["inflight"] == 0
+            assert stats["inflight_seconds"] == 0.0
+
+    def test_failed_sample_releases_slot(self):
+        # The sample path shares the ticket discipline: an unknown weights
+        # string never admits, but a deadline failure happens post-admission.
+        with make_service(warm_on_start=False) as svc:
+            response = svc.handle({
+                "kind": "sample", "query": svc.workload.query_names[0],
+                "count": 10_000, "seed": 1, "deadline": 0.0,
+            })
+            assert not response["ok"]
+            assert response["error"]["code"] in ("deadline-exceeded", "empty-result")
+            stats = self.admission_stats(svc)
+            assert stats["inflight"] == 0
+            assert stats["inflight_seconds"] == 0.0
+
+
+class TestPrototypeSingleBuild:
+    """Satellite bugfix: concurrent warm lookups build each prototype once.
+
+    The pre-fix lazy path checked the dict and then built outside any lock,
+    so N requests racing on a cold key paid N O(rows) builds and the last
+    writer won.  Builds now run under a per-key lock with a double-checked
+    lookup; the ``prototype_builds`` counter pins the "exactly once".
+    """
+
+    def test_barrier_of_warm_aggregates_builds_once(self):
+        with make_service(warm_on_start=False) as svc:
+            name = svc.workload.query_names[0]
+            responses = run_concurrently(
+                lambda i: svc.handle({
+                    "kind": "aggregate", "query": name, "aggregate": "count",
+                    "rel_error": 0.2, "seed": 7, "method": "exact-weight",
+                }),
+                8,
+            )
+            assert all(r["ok"] for r in responses)
+            first = responses[0]
+            assert all(r == first for r in responses), \
+                "racing builders must not fork the warm state"
+            counters = svc.handle({"kind": "stats"})["result"]["counters"]
+            assert counters["prototype_builds"] == 1
+
+    def test_distinct_keys_build_independently(self):
+        with make_service(warm_on_start=False) as svc:
+            names = svc.workload.query_names[:2]
+            run_concurrently(
+                lambda i: svc.handle({
+                    "kind": "aggregate", "query": names[i % 2],
+                    "aggregate": "count", "rel_error": 0.2, "seed": 7,
+                    "method": "exact-weight",
+                }),
+                6,
+            )
+            counters = svc.handle({"kind": "stats"})["result"]["counters"]
+            assert counters["prototype_builds"] == 2
+
+
+class TestServerCacheTier:
+    """The cache tier behind the aggregate handler (see docs/cache.md)."""
+
+    AGG = {"kind": "aggregate", "aggregate": "sum", "attribute": "totalprice",
+           "method": "exact-weight", "seed": 21}
+
+    def request(self, svc, **overrides):
+        request = dict(self.AGG, query=svc.workload.query_names[0])
+        request.update(overrides)
+        return svc.handle(request)
+
+    def test_followup_is_served_from_cache_and_priced_near_zero(self):
+        with make_service(cache=SampleCache()) as svc:
+            cold = self.request(svc, rel_error=0.05)
+            assert cold["ok"]
+            assert cold["result"]["cache"]["cached_samples"] == 0
+            assert cold["result"]["cache"]["fresh_samples"] > 0
+            # Looser target than the primer: the whole budget is cached, so
+            # the request prices at the warm floor — zero.
+            warm = self.request(svc, rel_error=0.2, aggregate="avg", seed=22)
+            assert warm["ok"]
+            assert warm["result"]["cache"]["cached_samples"] > 0
+            assert warm["result"]["cache"]["fresh_samples"] == 0
+            assert warm["result"]["priced_seconds"] == 0.0
+            assert warm["result"]["priced_seconds"] < cold["result"]["priced_seconds"]
+
+    def test_cache_false_is_bit_identical_to_a_cacheless_server(self):
+        with make_service(cache=SampleCache()) as caching, make_service() as plain:
+            self.request(caching, rel_error=0.1)  # populate the cache
+            opted_out = self.request(caching, rel_error=0.1, cache=False)
+            reference = self.request(plain, rel_error=0.1)
+            assert opted_out == reference
+            assert "cache" not in opted_out["result"]
+
+    def test_cache_request_on_cacheless_server_is_rejected(self):
+        with make_service(warm_on_start=False) as svc:
+            response = self.request(svc, rel_error=0.1, cache=True)
+            assert not response["ok"]
+            assert response["error"]["code"] == "invalid-request"
+            assert "--cache" in response["error"]["message"]
+
+    def test_mutation_invalidates_and_the_followup_redraws(self):
+        with make_service(cache=SampleCache()) as svc:
+            self.request(svc, rel_error=0.1)
+            mutated = svc.handle({
+                "kind": "mutate", "relation": "orders",
+                "delete_positions": [0],
+            })
+            assert mutated["ok"]
+            counters = svc.handle({"kind": "stats"})["result"]["counters"]
+            assert counters["cache_invalidations"] >= 1
+            redraw = self.request(svc, rel_error=0.1, seed=23)
+            assert redraw["ok"]
+            assert redraw["result"]["cache"]["cached_samples"] == 0
+            assert redraw["result"]["cache"]["fresh_samples"] > 0
+
+    def test_stats_expose_the_cache_section(self):
+        with make_service(cache=SampleCache(), warm_on_start=False) as svc:
+            self.request(svc, rel_error=0.1)
+            stats = svc.handle({"kind": "stats"})["result"]
+            cache_stats = stats["cache"]
+            assert cache_stats["enabled"]
+            assert cache_stats["entries"] == 1
+            assert cache_stats["samples"] > 0
+            assert cache_stats["bytes"] > 0
+        with make_service(warm_on_start=False) as svc:
+            assert svc.handle({"kind": "stats"})["result"]["cache"] == {
+                "enabled": False
+            }
