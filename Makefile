@@ -1,9 +1,27 @@
 PYTHONPATH := src
 
-.PHONY: test bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-reuse bench-server bench-updates bench-full profile serve
+.PHONY: test lint bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-reuse bench-server bench-updates bench-full profile serve
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Static-analysis gate (docs/static-analysis.md): ruff + scoped strict mypy
+# when available (CI installs them; offline containers may not have them),
+# then the project's own invariant linter — always, it has no dependencies
+# beyond the stdlib.  LINT_REPORT.json is the machine-readable artifact CI
+# uploads.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy --config-file pyproject.toml; \
+	else \
+		echo "mypy not installed; skipping (pip install mypy)"; \
+	fi
+	PYTHONPATH=$(PYTHONPATH) python -m repro.lint src tests --report LINT_REPORT.json
 
 # Batched-engine micro-benchmark: writes BENCH_batch_engine.json at the root.
 bench:

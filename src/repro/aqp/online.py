@@ -326,6 +326,8 @@ class OnlineAggregator:
         # O(n log n).
         step_size = min(self.batch_size, 256)
         while not self._converged(report, rel_error, min_accepted):
+            with self._lock:
+                attempts = self.accumulator.attempts
             if deadline_at is not None and time.monotonic() >= deadline_at:
                 if allow_partial:
                     return self._partial_report(report, deadline)
@@ -334,11 +336,11 @@ class OnlineAggregator:
                     f"online aggregation hit its {deadline:g}s deadline before "
                     f"reaching rel_error={rel_error} at confidence="
                     f"{self.confidence} (achieved relative half-width: "
-                    f"{achieved:.3g} after {self.accumulator.attempts} attempts); "
+                    f"{achieved:.3g} after {attempts} attempts); "
                     "pass allow_partial=True for the degraded estimate",
                     deadline=deadline,
                 )
-            if self.accumulator.attempts >= max_attempts:
+            if attempts >= max_attempts:
                 if allow_partial:
                     return self._partial_report(report, deadline)
                 raise RuntimeError(
@@ -358,13 +360,16 @@ class OnlineAggregator:
         zero-width CI around 0.0, undefined achieved error), so the empty
         case raises :class:`EmptyResultError` instead of returning.
         """
-        if self.accumulator.accepted == 0:
+        with self._lock:
+            accepted = self.accumulator.accepted
+            attempts = self.accumulator.attempts
+        if accepted == 0:
             raise EmptyResultError(
                 "online aggregation budget expired before any sample was "
                 "accepted; no partial estimate exists — retry with a larger "
                 "deadline or attempt budget",
                 deadline=deadline,
-                attempts=self.accumulator.attempts,
+                attempts=attempts,
             )
         report.degraded = True
         return report
@@ -396,14 +401,17 @@ class OnlineAggregator:
         )
 
     def _converged(self, report: AggregateReport, rel_error: float, min_accepted: int) -> bool:
-        if self.accumulator.attempts == 0:
+        with self._lock:
+            attempts = self.accumulator.attempts
+            accepted = self.accumulator.accepted
+        if attempts == 0:
             return False
-        if self.accumulator.accepted < min_accepted:
+        if accepted < min_accepted:
             # The zero-width/zero-estimate case (empty join) is genuinely done.
             return all(
                 e.estimate == 0.0 and e.half_width == 0.0
                 for e in report.estimates.values()
-            ) and self.accumulator.attempts >= min_accepted
+            ) and attempts >= min_accepted
         return all(
             e.half_width <= rel_error * abs(e.estimate)
             or (e.estimate == 0.0 and e.half_width == 0.0)

@@ -31,7 +31,7 @@ from repro.relational.relation import Relation
 from repro.sampling.join_sampler import JoinSampler
 from repro.sampling.wander_join import WanderJoin
 from repro.tpch.generator import generate_tpch
-from repro.utils.rng import RandomState
+from repro.utils.rng import RandomState, shard_seed_sequences
 
 
 @dataclass
@@ -133,7 +133,11 @@ def build_order_stream_scenario(
     and attach an RF1/RF2 stream to it.  Compose the pieces into a
     :class:`StreamingScenario` with whatever samplers the experiment needs.
     """
-    tables = generate_tpch(scale_factor, seed=seed)
+    # One root seed, two independent children: handing the same seed to the
+    # generator *and* the refresh stream would alias their draw streams (the
+    # PR 4 bug class repro.lint's RNG004 now rejects).
+    data_seed, stream_seed = shard_seed_sequences(seed, 2)
+    tables = generate_tpch(scale_factor, seed=data_seed)
     query = JoinQuery(
         "dynamic_orders",
         [tables["customer"], tables["orders"], tables["lineitem"]],
@@ -150,7 +154,7 @@ def build_order_stream_scenario(
     )
     stream = TPCHRefreshStream(
         tables,
-        seed=seed,
+        seed=stream_seed,
         orders_per_batch=orders_per_batch,
         insert_fraction=insert_fraction,
     )

@@ -1,0 +1,102 @@
+"""CLI: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 clean, 1 live error findings, 2 internal linter failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from typing import List, Optional
+
+from repro.lint.checkers import all_rules
+from repro.lint.reporters import render_json, render_text, write_report
+from repro.lint.runner import DEFAULT_EXCLUDES, LintConfig, run_lint
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant linter for the repro codebase: RNG "
+            "discipline, epoch protocol, lock discipline, merge law, "
+            "determinism, resource hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the JSON report to PATH (e.g. LINT_REPORT.json)",
+    )
+    parser.add_argument(
+        "--rules", metavar="IDS", default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--exclude", metavar="NAMES", default="",
+        help="extra comma-separated directory names to skip",
+    )
+    parser.add_argument(
+        "--assume-library", action="store_true",
+        help="treat every file as library code (contract rules everywhere)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name} [{rule.severity.value}]")
+        lines.append(f"    {rule.invariant}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        try:
+            print(_list_rules())
+        except BrokenPipeError:  # `... --list-rules | head` closing early is fine
+            sys.stderr.close()
+        return 0
+    try:
+        excludes = tuple(DEFAULT_EXCLUDES) + tuple(
+            name.strip() for name in args.exclude.split(",") if name.strip()
+        )
+        config = LintConfig(
+            assume_library=args.assume_library,
+            rules=tuple(
+                rule.strip() for rule in args.rules.split(",") if rule.strip()
+            ),
+            excludes=excludes,
+        )
+        result = run_lint(args.paths, config)
+        if args.format == "json":
+            print(render_json(result))
+        else:
+            print(render_text(result))
+        if args.report:
+            write_report(result, args.report)
+        return result.exit_code
+    except BrokenPipeError:  # downstream pipe closed early; not an internal failure
+        sys.stderr.close()
+        return 0
+    except Exception:  # internal failure must be distinguishable from findings
+        traceback.print_exc()
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

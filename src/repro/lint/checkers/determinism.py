@@ -1,0 +1,150 @@
+"""Determinism: shard plans and cache keys are pure functions of their inputs.
+
+The functions in :data:`repro.lint.registry.DETERMINISM_FUNCTIONS` define
+identities the whole system agrees on — which cache entry a query maps to,
+which seed a shard receives, which epoch a snapshot pins.  Bit-identical
+parallel merges (PR 4) and sound cache reuse (PR 8) hold only while those
+are pure: a wall-clock read, OS entropy, or iteration over an *unordered*
+set anywhere inside makes two processes disagree about the same plan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import ast
+from typing import List, Set
+
+from repro.lint.core import Finding, Rule
+from repro.lint.registry import DETERMINISM_FUNCTIONS, NONDETERMINISTIC_CALLS
+from repro.lint.symbols import ModuleSymbols, ProjectSymbols
+
+if TYPE_CHECKING:
+    from repro.lint.runner import LintConfig
+
+RULES = (
+    Rule(
+        id="DET001",
+        name="wall-clock-or-entropy",
+        invariant=(
+            "shard-plan/cache-key functions never read clocks, pids, or OS "
+            "entropy — their output must depend on arguments alone"
+        ),
+    ),
+    Rule(
+        id="DET002",
+        name="unordered-set-iteration",
+        invariant=(
+            "shard-plan/cache-key functions never iterate a set without "
+            "sorted(); set order varies across processes and runs"
+        ),
+    ),
+)
+
+_BY_ID = {rule.id: rule for rule in RULES}
+
+
+def _set_expr(node: ast.AST, set_vars: Set[str]) -> bool:
+    """True when ``node`` evaluates to an unordered set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.Name):
+        return node.id in set_vars
+    return False
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    def __init__(self, module: ModuleSymbols, func_name: str) -> None:
+        self.module = module
+        self.func_name = func_name
+        self.findings: List[Finding] = []
+        self.set_vars: Set[str] = set()
+
+    def _add(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = _BY_ID[rule_id]
+        self.findings.append(
+            Finding(
+                rule_id=rule.id,
+                severity=rule.severity,
+                path=self.module.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            if _set_expr(node.value, self.set_vars):
+                self.set_vars.add(node.targets[0].id)
+            else:
+                self.set_vars.discard(node.targets[0].id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.module.resolve(node.func)
+        if name in NONDETERMINISTIC_CALLS:
+            self._add(
+                "DET001", node,
+                f"`{name}` inside determinism-critical `{self.func_name}`; "
+                "plans and keys must be pure functions of their inputs",
+            )
+        # tuple(s)/list(s) over a set: order leaks into the output.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("tuple", "list")
+            and node.args
+            and _set_expr(node.args[0], self.set_vars)
+        ):
+            self._add(
+                "DET002", node,
+                f"materializing a set in iteration order inside "
+                f"`{self.func_name}`; wrap it in sorted()",
+            )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        if _set_expr(node.iter, self.set_vars):
+            self._add(
+                "DET002", node,
+                f"iterating a set inside `{self.func_name}`; set order "
+                "varies across processes — wrap it in sorted()",
+            )
+        self.generic_visit(node)
+
+    def visit_comprehension_iter(self, comp: ast.comprehension) -> None:
+        if _set_expr(comp.iter, self.set_vars):
+            self._add(
+                "DET002", comp.iter,
+                f"comprehension over a set inside `{self.func_name}`; set "
+                "order varies across processes — wrap it in sorted()",
+            )
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+            for comp in node.generators:
+                self.visit_comprehension_iter(comp)
+        super().generic_visit(node)
+
+
+def check(
+    module: ModuleSymbols, project: ProjectSymbols, config: "LintConfig"
+) -> List[Finding]:
+    if not config.is_library(module.path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in DETERMINISM_FUNCTIONS
+        ):
+            scanner = _FunctionScanner(module, node.name)
+            for child in node.body:
+                scanner.visit(child)
+            findings.extend(scanner.findings)
+    return findings
+
+
+__all__ = ["RULES", "check"]

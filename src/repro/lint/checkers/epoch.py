@@ -1,0 +1,133 @@
+"""Epoch protocol: draw entry points must re-sync before serving (PR 2).
+
+Classes that cache structures derived from versioned relations (weight
+totals, alias tables, buffered draws) carry a staleness check —
+``refresh()`` diffs ``Relation.version`` counters and patches the caches.
+The protocol only works if **every** public draw/estimate entry point runs
+it before touching cached state: one forgotten call serves samples drawn
+against a database that no longer exists, silently, under any concurrent
+mutator.  The contract per class lives in
+:data:`repro.lint.registry.EPOCH_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import ast
+from typing import List, Optional
+
+from repro.lint.core import Finding, Rule
+from repro.lint.registry import EPOCH_REGISTRY, EpochContract
+from repro.lint.symbols import ClassInfo, MethodInfo, ModuleSymbols, ProjectSymbols
+
+if TYPE_CHECKING:
+    from repro.lint.runner import LintConfig
+
+RULES = (
+    Rule(
+        id="EPOCH001",
+        name="missing-refresh",
+        invariant=(
+            "every public draw/estimate entry point of a versioned class "
+            "must call its staleness check (refresh) before serving"
+        ),
+    ),
+    Rule(
+        id="EPOCH002",
+        name="refresh-after-use",
+        invariant=(
+            "the staleness check must run before the first read of cached "
+            "epoch-derived state, not after"
+        ),
+    ),
+)
+
+_BY_ID = {rule.id: rule for rule in RULES}
+
+
+def _refresh_line(method: MethodInfo, contract: EpochContract) -> Optional[int]:
+    # Delegating to another checked entry point counts: that callee runs the
+    # staleness check itself (and is verified to, by this same rule).
+    acceptable = contract.refresh_methods | (contract.entry_points - {method.name})
+    lines = [call.line for call in method.self_calls if call.method in acceptable]
+    return min(lines) if lines else None
+
+
+def _first_cached_use(method: MethodInfo, contract: EpochContract) -> Optional[int]:
+    lines = [
+        access.line
+        for access in method.accesses
+        if access.attr in contract.cached_attrs
+    ]
+    return min(lines) if lines else None
+
+
+def _check_class(
+    module: ModuleSymbols, info: ClassInfo, contract: EpochContract
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for method in info.methods.values():
+        if method.name.startswith("__"):
+            continue
+        if method.name in contract.refresh_methods or method.name in contract.exempt:
+            continue
+        required = method.name in contract.entry_points
+        first_use = _first_cached_use(method, contract)
+        if not required and (first_use is None or not method.is_public):
+            continue
+        refresh_at = _refresh_line(method, contract)
+        if refresh_at is None:
+            rule = _BY_ID["EPOCH001"]
+            what = (
+                f"reads cached epoch state on line {first_use} "
+                if first_use is not None
+                else ""
+            )
+            findings.append(
+                Finding(
+                    rule_id=rule.id,
+                    severity=rule.severity,
+                    path=module.path,
+                    line=method.node.lineno,
+                    col=method.node.col_offset,
+                    message=(
+                        f"{info.name}.{method.name} {what}without calling "
+                        f"{'/'.join(sorted(contract.refresh_methods))}(); a "
+                        "mutation epoch would be served from stale caches"
+                    ),
+                )
+            )
+        elif first_use is not None and first_use < refresh_at:
+            rule = _BY_ID["EPOCH002"]
+            findings.append(
+                Finding(
+                    rule_id=rule.id,
+                    severity=rule.severity,
+                    path=module.path,
+                    line=first_use,
+                    col=0,
+                    message=(
+                        f"{info.name}.{method.name} reads cached epoch state "
+                        f"(line {first_use}) before its staleness check "
+                        f"(line {refresh_at}); move the refresh first"
+                    ),
+                )
+            )
+    return findings
+
+
+def check(
+    module: ModuleSymbols, project: ProjectSymbols, config: "LintConfig"
+) -> List[Finding]:
+    if not config.is_library(module.path):
+        return []
+    findings: List[Finding] = []
+    for name, info in module.classes.items():
+        contract = EPOCH_REGISTRY.get(name)
+        if contract is not None:
+            findings.extend(_check_class(module, info, contract))
+    return findings
+
+
+__all__ = ["RULES", "check"]

@@ -1,0 +1,148 @@
+"""Lock discipline: registered shared state only moves under its lock (PR 7/8).
+
+For every class in :data:`repro.lint.registry.LOCK_REGISTRY`, each guarded
+attribute may only be read or written
+
+* lexically inside ``with self.<lock>:``,
+* in a method whose decorator acquires the lock (``@_locked``),
+* in a private helper *all* of whose intra-class call sites hold the lock
+  (computed as a fixpoint over the class's self-call graph), or
+* in ``__init__``/``__new__``/``__getstate__``/``__setstate__`` — the
+  object is not shared during construction or pickling.
+
+Everything else is a data race: maybe benign on CPython today, but the
+whole point of the registry is that nobody has to re-derive which races
+are benign after every refactor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.lint.core import Finding, Rule
+from repro.lint.registry import LOCK_REGISTRY, LockContract
+from repro.lint.symbols import ClassInfo, ModuleSymbols, ProjectSymbols
+
+if TYPE_CHECKING:
+    from repro.lint.runner import LintConfig
+
+RULES = (
+    Rule(
+        id="LOCK001",
+        name="unguarded-shared-state",
+        invariant=(
+            "attributes registered as guarded-by a lock may only be touched "
+            "with that lock held (with-block, @_locked, or a helper reached "
+            "only from lock-holding call sites)"
+        ),
+    ),
+)
+
+_RULE = RULES[0]
+
+#: methods where the instance is provably unshared
+_CONSTRUCTION = frozenset({"__init__", "__new__", "__getstate__", "__setstate__"})
+
+
+def _decorator_locks(
+    method_decorators: Tuple[str, ...], contract: LockContract
+) -> FrozenSet[str]:
+    held = {
+        contract.locked_decorators[d]
+        for d in method_decorators
+        if d in contract.locked_decorators
+    }
+    return frozenset(held)
+
+
+def _held_everywhere(info: ClassInfo, contract: LockContract, lock: str) -> Set[str]:
+    """Methods guaranteed to run with ``lock`` held at every call site.
+
+    Fixpoint: start from every private method that has at least one
+    intra-class call site, assume all hold the lock, then discard any with
+    a call site outside the lock (lexically, via decorator, or via a caller
+    still assumed to hold it).  Construction methods count as safe call
+    sites — no second thread can exist yet.
+    """
+    callers: Dict[str, List[tuple]] = {}
+    for method in info.methods.values():
+        for call in method.self_calls:
+            callers.setdefault(call.method, []).append((method, call))
+
+    candidates = {
+        name
+        for name, method in info.methods.items()
+        if name.startswith("_")
+        and name not in _CONSTRUCTION
+        and name in callers
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name in list(candidates):
+            for caller, call in callers[name]:
+                if caller.name in _CONSTRUCTION:
+                    continue
+                if lock in call.locks_held:
+                    continue
+                if lock in _decorator_locks(caller.decorators, contract):
+                    continue
+                if caller.name in candidates and caller.name != name:
+                    continue
+                candidates.discard(name)
+                changed = True
+                break
+    return candidates
+
+
+def _check_class(
+    module: ModuleSymbols, info: ClassInfo, contract: LockContract
+) -> List[Finding]:
+    findings: List[Finding] = []
+    held_closure = {
+        lock: _held_everywhere(info, contract, lock) for lock in contract.locks
+    }
+    for method in info.methods.values():
+        if method.name in _CONSTRUCTION:
+            continue
+        decorator_held = _decorator_locks(method.decorators, contract)
+        for access in method.accesses:
+            for lock in contract.guarded_by(access.attr):
+                if lock in access.locks_held or lock in decorator_held:
+                    continue
+                if method.name in held_closure[lock]:
+                    continue
+                verb = "written" if access.is_store else "read"
+                findings.append(
+                    Finding(
+                        rule_id=_RULE.id,
+                        severity=_RULE.severity,
+                        path=module.path,
+                        line=access.line,
+                        col=access.col,
+                        message=(
+                            f"{info.name}.{method.name} {verb} guarded "
+                            f"attribute `{access.attr}` without holding "
+                            f"`self.{lock}`"
+                        ),
+                    )
+                )
+    return findings
+
+
+def check(
+    module: ModuleSymbols, project: ProjectSymbols, config: "LintConfig"
+) -> List[Finding]:
+    if not config.is_library(module.path):
+        return []
+    findings: List[Finding] = []
+    for name, info in module.classes.items():
+        contract = LOCK_REGISTRY.get(name)
+        if contract is not None:
+            findings.extend(_check_class(module, info, contract))
+    return findings
+
+
+__all__ = ["RULES", "check"]

@@ -1,0 +1,300 @@
+"""RNG discipline: SeedSequence-derived streams only (the PR 4 bug class).
+
+Every stochastic component must obtain its stream through
+``repro.utils.rng`` — ``ensure_rng`` / ``spawn_rngs`` /
+``shard_seed_sequences`` / ``keyed_rng`` — so that sub-streams are derived,
+never shared.  A bare ``np.random.default_rng()`` in a shard path silently
+re-seeds from OS entropy (goodbye reproducibility); numpy's module-state
+functions share one hidden global stream across every caller; and handing
+the same integer seed to a sampler *and* an estimator makes them consume
+identical draws, correlating components the estimator math assumes are
+independent — the exact bug PR 4 fixed in the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.core import Finding, Rule, Severity
+from repro.lint.registry import (
+    NUMPY_MODULE_STATE,
+    RNG_CONSTRUCTORS,
+    RNG_MODULE_SUFFIX,
+)
+from repro.lint.symbols import ModuleSymbols, ProjectSymbols
+
+if TYPE_CHECKING:
+    from repro.lint.runner import LintConfig
+
+RULES = (
+    Rule(
+        id="RNG001",
+        name="raw-generator-construction",
+        invariant=(
+            "numpy Generators are constructed only in repro/utils/rng.py; "
+            "everywhere else use ensure_rng/spawn_rngs/keyed_rng"
+        ),
+    ),
+    Rule(
+        id="RNG002",
+        name="numpy-module-state",
+        invariant=(
+            "numpy.random module-state functions (np.random.seed/rand/...) "
+            "share one hidden global stream and are forbidden everywhere"
+        ),
+    ),
+    Rule(
+        id="RNG003",
+        name="stdlib-random",
+        invariant=(
+            "the stdlib `random` module is unseeded global state; use "
+            "repro.utils.rng streams instead"
+        ),
+    ),
+    Rule(
+        id="RNG004",
+        name="seed-reuse",
+        invariant=(
+            "one seed, one component: the same seed value must not construct "
+            "two seed-consuming components (derive with spawn_rngs/"
+            "shard_seed_sequences instead)"
+        ),
+    ),
+)
+
+_BY_ID = {rule.id: rule for rule in RULES}
+
+
+def _finding(rule_id: str, module: ModuleSymbols, node: ast.AST, message: str) -> Finding:
+    rule = _BY_ID[rule_id]
+    return Finding(
+        rule_id=rule.id,
+        severity=rule.severity,
+        path=module.path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _seed_key(node: ast.expr) -> Optional[Tuple[str, object]]:
+    """Hashable identity of a seed expression worth tracking for reuse.
+
+    Plain names and integer literals alias when reused; calls (``rngs[0]``,
+    ``spawn_rngs(...)[1]``) construct fresh derived streams and are skipped.
+    """
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        if isinstance(node.value, bool):
+            return None
+        return ("const", node.value)
+    return None
+
+
+def check(
+    module: ModuleSymbols, project: ProjectSymbols, config: "LintConfig"
+) -> List[Finding]:
+    findings: List[Finding] = []
+    if not config.is_library(module.path):
+        return findings
+    is_rng_module = module.path.replace("\\", "/").endswith(RNG_MODULE_SUFFIX)
+
+    for node in ast.walk(module.tree):
+        # RNG003: the import itself is the violation — module-state enters.
+        if isinstance(node, ast.Import) and not is_rng_module:
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    findings.append(
+                        _finding(
+                            "RNG003", module, node,
+                            "stdlib `random` imported; use repro.utils.rng "
+                            "(ensure_rng/spawn_rngs) for seeded streams",
+                        )
+                    )
+        elif isinstance(node, ast.ImportFrom) and not is_rng_module:
+            if node.level == 0 and node.module and (
+                node.module == "random" or node.module.startswith("random.")
+            ):
+                findings.append(
+                    _finding(
+                        "RNG003", module, node,
+                        "stdlib `random` imported; use repro.utils.rng "
+                        "(ensure_rng/spawn_rngs) for seeded streams",
+                    )
+                )
+        elif isinstance(node, ast.Call):
+            name = module.resolve(node.func)
+            if name is None:
+                continue
+            if name in RNG_CONSTRUCTORS and not is_rng_module:
+                findings.append(
+                    _finding(
+                        "RNG001", module, node,
+                        f"`{name}` constructed outside repro/utils/rng.py; "
+                        "route the seed through ensure_rng (or derive child "
+                        "streams with spawn_rngs/shard_seed_sequences)",
+                    )
+                )
+            elif (
+                name.startswith("numpy.random.")
+                and name.rsplit(".", 1)[-1] in NUMPY_MODULE_STATE
+            ):
+                findings.append(
+                    _finding(
+                        "RNG002", module, node,
+                        f"`{name}` draws from numpy's hidden module-global "
+                        "stream; draw from an explicit Generator instead",
+                    )
+                )
+            elif name.startswith("random.") and not is_rng_module:
+                findings.append(
+                    _finding(
+                        "RNG003", module, node,
+                        f"`{name}` uses the stdlib global stream; use "
+                        "repro.utils.rng instead",
+                    )
+                )
+
+    findings.extend(_seed_reuse(module, project))
+    return findings
+
+
+class _SeedPathScanner:
+    """RNG004 flow analysis: per-path tracking of which seeds were consumed.
+
+    Reuse is only a bug when both constructions can happen in **one**
+    execution: if/elif/else alternatives fork the tracking state, a branch
+    that returns or raises is dropped from the merge (early-return
+    dispatchers construct exactly one component), and names bound by
+    iterating a derivation call (``for stream in spawn_rngs(...)``) are
+    fresh per-iteration streams, never shared seeds.
+    """
+
+    def __init__(self, module: ModuleSymbols, project: ProjectSymbols) -> None:
+        self.module = module
+        self.project = project
+        self.findings: List[Finding] = []
+
+    # -- expression level ------------------------------------------------
+    def _callee(self, node: ast.Call) -> Optional[str]:
+        callee = self.module.resolve(node.func)
+        if callee is None and isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif callee is None and isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        return callee
+
+    def _derived_targets(self, expr: ast.AST) -> Set[str]:
+        """Comprehension targets within ``expr`` — per-iteration bindings."""
+        names: Set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.comprehension):
+                for target in ast.walk(node.target):
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def scan_expr(self, expr: Optional[ast.AST], seen: Dict, excluded: set) -> None:
+        if expr is None:
+            return
+        local_excluded = excluded | self._derived_targets(expr)
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._callee(node)
+            if not self.project.consumes_seed(callee):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "seed":
+                    continue
+                key = _seed_key(kw.value)
+                if key is None:
+                    continue
+                if key[0] == "name" and key[1] in local_excluded:
+                    continue
+                previous = seen.get(key)
+                if previous is not None and previous != (callee, node.lineno):
+                    self.findings.append(
+                        _finding(
+                            "RNG004", self.module, node,
+                            f"seed {key[1]!r} already seeded `{previous[0]}` "
+                            f"on line {previous[1]}; two components on one "
+                            "seed share a stream — derive children with "
+                            "spawn_rngs/shard_seed_sequences",
+                        )
+                    )
+                else:
+                    seen[key] = (str(callee), node.lineno)
+
+    # -- statement level -------------------------------------------------
+    def scan_suite(self, stmts, seen: Dict, excluded: set) -> bool:
+        """Scan a statement list; True when every path returns/raises."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # separate scope, scanned on its own
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                self.scan_expr(getattr(stmt, "value", None), seen, excluded)
+                self.scan_expr(getattr(stmt, "exc", None), seen, excluded)
+                return True
+            if isinstance(stmt, ast.If):
+                self.scan_expr(stmt.test, seen, excluded)
+                body_seen, else_seen = dict(seen), dict(seen)
+                body_term = self.scan_suite(stmt.body, body_seen, excluded)
+                else_term = self.scan_suite(stmt.orelse, else_seen, excluded)
+                if body_term and else_term:
+                    return True
+                if body_term:
+                    seen.clear(); seen.update(else_seen)
+                elif else_term:
+                    seen.clear(); seen.update(body_seen)
+                else:
+                    seen.update(body_seen); seen.update(else_seen)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.scan_expr(stmt.iter, seen, excluded)
+                loop_names = {
+                    t.id for t in ast.walk(stmt.target) if isinstance(t, ast.Name)
+                }
+                self.scan_suite(stmt.body, seen, excluded | loop_names)
+                self.scan_suite(stmt.orelse, seen, excluded)
+            elif isinstance(stmt, ast.While):
+                self.scan_expr(stmt.test, seen, excluded)
+                self.scan_suite(stmt.body, seen, excluded)
+                self.scan_suite(stmt.orelse, seen, excluded)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self.scan_expr(item.context_expr, seen, excluded)
+                if self.scan_suite(stmt.body, seen, excluded):
+                    return True
+            elif isinstance(stmt, ast.Try):
+                if self.scan_suite(stmt.body, seen, excluded):
+                    # The else/finally still run on success paths; keep it
+                    # simple and conservative: scan them against forks.
+                    pass
+                merged = dict(seen)
+                for handler in stmt.handlers:
+                    handler_seen = dict(seen)
+                    self.scan_suite(handler.body, handler_seen, excluded)
+                    merged.update(handler_seen)
+                self.scan_suite(stmt.orelse, seen, excluded)
+                self.scan_suite(stmt.finalbody, seen, excluded)
+                seen.update(merged)
+            else:
+                for expr in ast.iter_child_nodes(stmt):
+                    self.scan_expr(expr, seen, excluded)
+        return False
+
+
+def _seed_reuse(module: ModuleSymbols, project: ProjectSymbols) -> List[Finding]:
+    """RNG004: one seed value constructs two seed-consuming components."""
+    scanner = _SeedPathScanner(module, project)
+    for scope in ast.walk(module.tree):
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scanner.scan_suite(scope.body, {}, set())
+    return scanner.findings
+
+
+__all__ = ["RULES", "check"]

@@ -1,0 +1,85 @@
+"""Reporters: human text for terminals, stable JSON for CI artifacts.
+
+``render_json`` / ``write_report`` produce the ``LINT_REPORT.json``
+artifact CI uploads: a versioned document with the full rule catalogue,
+every finding (suppressed ones included, marked, with their written
+justification), and summary counts — enough for a reviewer to audit what
+was silenced without checking out the branch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.lint.checkers import all_rules
+from repro.lint.core import Severity
+from repro.lint.runner import LintResult
+
+#: bump when the JSON document shape changes
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding, gcc-style, plus a summary tail."""
+    lines: List[str] = []
+    for finding in result.findings:
+        tag = finding.severity.value
+        if finding.suppressed:
+            tag = f"suppressed {tag}"
+        lines.append(
+            f"{finding.location()}: {tag} {finding.rule_id}: {finding.message}"
+        )
+        if finding.suppressed and finding.justification:
+            lines.append(f"    justification: {finding.justification}")
+    live = result.live
+    errors = result.errors
+    warnings = [f for f in live if f.severity is Severity.WARNING]
+    lines.append(
+        f"{len(result.files)} files scanned: "
+        f"{len(errors)} error(s), {len(warnings)} warning(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable report CI archives as ``LINT_REPORT.json``."""
+    rules = all_rules()  # framework rules (SUP001/PARSE001) included
+    document: Dict[str, object] = {
+        "format_version": REPORT_FORMAT_VERSION,
+        "tool": "repro.lint",
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "invariant": rule.invariant,
+            }
+            for rule in rules
+        ],
+        "files_scanned": len(result.files),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "summary": {
+            "errors": len(result.errors),
+            "warnings": len(
+                [f for f in result.live if f.severity is Severity.WARNING]
+            ),
+            "suppressed": len(result.suppressed),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def write_report(result: LintResult, path: str) -> None:
+    Path(path).write_text(render_json(result) + "\n", encoding="utf-8")
+
+
+__all__ = [
+    "REPORT_FORMAT_VERSION",
+    "render_json",
+    "render_text",
+    "write_report",
+]

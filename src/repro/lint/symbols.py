@@ -1,0 +1,303 @@
+"""Symbol tables for the checkers: per-file structure, cross-module facts.
+
+:class:`ModuleSymbols` parses one file and exposes exactly what the
+checkers need and nothing more:
+
+* an **import alias map** so ``np.random.default_rng`` resolves to
+  ``numpy.random.default_rng`` whatever the file imported numpy as;
+* a **class model**: for every class, its methods with their decorators,
+  every ``self.<attr>`` access (with the set of ``with self.<lock>:``
+  blocks lexically active at that point), and every ``self.<method>()``
+  call site (with the same lock context) — the inputs of the lock and
+  epoch checkers' reachability analyses;
+* the raw AST and source for checkers with bespoke traversals.
+
+:class:`ProjectSymbols` aggregates cross-module facts, currently the set
+of *seed-consuming callables* (functions and classes whose signature takes
+a ``seed`` parameter) that powers the seed-aliasing rule: constructing two
+such components from one integer seed is only detectable when the linter
+knows, across modules, which callables consume seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+
+def resolve_dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an expression to a full dotted name via the import aliases.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` yields
+    ``"numpy.random.default_rng"``; names whose root was never imported
+    resolve to ``None`` (they are locals, not module references).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id)
+    if root is None:
+        return None
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def call_name(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted name of a call's callee, or ``None`` when it is local."""
+    return resolve_dotted(node.func, aliases)
+
+
+@dataclass
+class AttrAccess:
+    """One ``self.<attr>`` load or store inside a method."""
+
+    attr: str
+    line: int
+    col: int
+    is_store: bool
+    #: names of ``self.<lock>`` objects whose ``with`` blocks lexically
+    #: enclose this access
+    locks_held: FrozenSet[str]
+
+
+@dataclass
+class SelfCall:
+    """One ``self.<method>(...)`` call site inside a method."""
+
+    method: str
+    line: int
+    locks_held: FrozenSet[str]
+
+
+@dataclass
+class MethodInfo:
+    """One method of a class, pre-digested for the checkers."""
+
+    name: str
+    node: ast.FunctionDef
+    decorators: Tuple[str, ...]
+    accesses: List[AttrAccess] = field(default_factory=list)
+    self_calls: List[SelfCall] = field(default_factory=list)
+
+    @property
+    def is_public(self) -> bool:
+        return not self.name.startswith("_")
+
+    @property
+    def is_property(self) -> bool:
+        return "property" in self.decorators
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods plus the order they appear in."""
+
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, MethodInfo] = field(default_factory=dict)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Collect self-attribute accesses and self-calls with lock context."""
+
+    def __init__(self, info: MethodInfo, self_name: str) -> None:
+        self.info = info
+        self.self_name = self_name
+        self._lock_stack: List[str] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == self.self_name
+            ):
+                self._lock_stack.append(expr.attr)
+                pushed += 1
+        for child in node.body:
+            self.visit(child)
+        for _ in range(pushed):
+            self._lock_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested functions get a fresh `self`; do not descend.
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.self_name
+        ):
+            self.info.self_calls.append(
+                SelfCall(
+                    method=func.attr,
+                    line=node.lineno,
+                    locks_held=frozenset(self._lock_stack),
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == self.self_name:
+            self.info.accesses.append(
+                AttrAccess(
+                    attr=node.attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    is_store=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    locks_held=frozenset(self._lock_stack),
+                )
+            )
+        self.generic_visit(node)
+
+
+def _decorator_names(node: ast.FunctionDef) -> Tuple[str, ...]:
+    names: List[str] = []
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.append(target.attr)
+    return tuple(names)
+
+
+class ModuleSymbols:
+    """Parsed, pre-digested view of one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.aliases: Dict[str, str] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._collect_imports(tree)
+        self._collect_classes(tree)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleSymbols":
+        return cls(path, source, ast.parse(source, filename=path))
+
+    # ------------------------------------------------------------------ build
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds `a.b`.
+                    full = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.aliases[local] = full
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def _collect_classes(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(name=node.name, node=node)
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                method = MethodInfo(
+                    name=stmt.name,
+                    node=stmt,  # type: ignore[arg-type]
+                    decorators=_decorator_names(stmt),  # type: ignore[arg-type]
+                )
+                self_name = "self"
+                args = stmt.args.posonlyargs + stmt.args.args
+                if args and "staticmethod" not in method.decorators:
+                    self_name = args[0].arg
+                scanner = _MethodScanner(method, self_name)
+                for child in stmt.body:
+                    scanner.visit(child)
+                info.methods[stmt.name] = method
+            self.classes[node.name] = info
+
+    # ------------------------------------------------------------------ query
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        return resolve_dotted(node, self.aliases)
+
+
+#: names that derive independent sub-streams — passing one seed to several
+#: of these is the *fix* for aliasing, never a violation of it
+SEED_DERIVERS = frozenset(
+    {"spawn_rngs", "shard_seed_sequences", "keyed_rng", "SeedSequence"}
+)
+
+
+class ProjectSymbols:
+    """Cross-module facts shared by every checker run.
+
+    ``seed_consumers`` maps the bare name of every callable that takes a
+    ``seed`` parameter (functions, and classes via ``__init__``) to the
+    module that defines it — built over *all* scanned files, so the
+    seed-aliasing rule recognizes a sampler constructed in one module and
+    an estimator imported from another.
+    """
+
+    def __init__(self) -> None:
+        self.seed_consumers: Dict[str, str] = {}
+        self.class_modules: Dict[str, str] = {}
+
+    def add_module(self, module: ModuleSymbols) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._takes_seed(node):
+                    self.seed_consumers.setdefault(node.name, module.path)
+            elif isinstance(node, ast.ClassDef):
+                self.class_modules.setdefault(node.name, module.path)
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == "__init__"
+                        and self._takes_seed(stmt)
+                    ):
+                        self.seed_consumers.setdefault(node.name, module.path)
+
+    @staticmethod
+    def _takes_seed(node: ast.FunctionDef) -> bool:
+        for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+            if arg.arg == "seed":
+                return True
+        return False
+
+    def consumes_seed(self, callee: Optional[str]) -> bool:
+        if callee is None:
+            return False
+        bare = callee.rsplit(".", 1)[-1]
+        return bare in self.seed_consumers and bare not in SEED_DERIVERS
+
+
+def build_project(modules: Sequence[ModuleSymbols]) -> ProjectSymbols:
+    project = ProjectSymbols()
+    for module in modules:
+        project.add_module(module)
+    return project
+
+
+__all__ = [
+    "AttrAccess",
+    "ClassInfo",
+    "MethodInfo",
+    "ModuleSymbols",
+    "ProjectSymbols",
+    "SEED_DERIVERS",
+    "SelfCall",
+    "build_project",
+    "call_name",
+    "resolve_dotted",
+]

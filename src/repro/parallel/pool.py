@@ -238,7 +238,8 @@ class ParallelSamplerPool:
     # -------------------------------------------------------------- lifecycle
     @property
     def closed(self) -> bool:
-        return self._closed
+        with self._lock:
+            return self._closed
 
     def close(self) -> None:
         """Shut down the pool's long-lived resources; idempotent.
@@ -371,8 +372,9 @@ class ParallelSamplerPool:
         """
         if not tasks:
             return [], None, None
-        if self._closed:
-            raise RuntimeError("ParallelSamplerPool is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ParallelSamplerPool is closed")
         execution = self._resolve_execution(tasks)
         rung = execution
         executor = None
@@ -559,7 +561,8 @@ class ParallelSamplerPool:
             # (the PR 2/PR 3 restart semantics) and the job re-runs against
             # the new snapshot.
             restarts += 1
-            self.epochs_restarted += 1
+            with self._lock:
+                self.epochs_restarted += 1
             if restarts > self.max_epoch_restarts:
                 raise RuntimeError(
                     f"parallel job restarted {restarts} times on mutation epochs "
@@ -574,14 +577,17 @@ class ParallelSamplerPool:
         outcome: Optional[SupervisedOutcome] = None,
         execution: Optional[str] = None,
     ) -> ParallelRunReport:
+        with self._lock:
+            last_execution = self._last_execution
+            epochs_restarted = self.epochs_restarted
         report = ParallelRunReport(
             backend=tasks[0].backend,
-            execution=execution or self._last_execution or self._resolve_execution(tasks),
+            execution=execution or last_execution or self._resolve_execution(tasks),
             workers=self.workers,
             shards=len(tasks),
             attempts=sum(r.attempts for r in results),
             accepted=sum(r.accepted for r in results),
-            epochs_restarted=self.epochs_restarted,
+            epochs_restarted=epochs_restarted,
             per_shard=[
                 {"shard": r.shard_id, "attempts": r.attempts, "accepted": r.accepted}
                 for r in results

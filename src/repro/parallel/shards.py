@@ -37,6 +37,7 @@ from repro.resilience.faults import (
     in_worker_process,
 )
 from repro.sampling.blocks import SampleBlock
+from repro.utils.rng import ensure_rng
 
 #: Backends a shard can run.  ``wander-join`` is aggregate-only (its walks
 #: carry Horvitz–Thompson weights, not uniform samples).
@@ -191,7 +192,7 @@ def run_shard(
     if deadline is not None:
         deadline.check("shard start")
     apply_pre_fault(action, task.shard_id, attempt)
-    rng = np.random.default_rng(task.seed)
+    rng = ensure_rng(task.seed)
     result = ShardResult(
         shard_id=task.shard_id,
         db_versions=observed_versions(task.queries),

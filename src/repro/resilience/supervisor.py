@@ -402,6 +402,16 @@ class ShardSupervisor:
         finally:
             self._cleanup()
 
+    def close(self) -> None:
+        """Release any still-live workers and the owned executor; idempotent.
+
+        :meth:`run` already cleans up on every exit path, so this only
+        matters for a supervisor abandoned before (or killed during) a run —
+        but having the lifecycle method makes ownership of the lazily
+        created thread executor explicit.
+        """
+        self._cleanup()
+
     # -------------------------------------------------------------------- loop
     def _loop(self) -> SupervisedOutcome:
         # Loop on shard *states*, not in-flight handles: an abandoned thread

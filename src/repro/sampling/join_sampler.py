@@ -490,7 +490,11 @@ class JoinSampler:
         attempt-level accounting (accepted vs. rejected walks, read off
         :attr:`stats`) stays aligned with the draws it ingested.  With
         ``parallelism > 1`` the shard samplers' buffers are drained too.
+
+        Runs the staleness check first: surplus buffered under a previous
+        mutation epoch must be discarded, not served.
         """
+        self.refresh()
         drained = list(self._draw_buffer)
         self._draw_buffer.clear()
         for block in self.pop_buffered_blocks():
@@ -502,6 +506,7 @@ class JoinSampler:
         """Drain the struct-of-arrays surplus (the zero-object twin of
         :meth:`pop_buffered`; boxed draws parked by ``sample()`` are not
         convertible back and stay for :meth:`pop_buffered`)."""
+        self.refresh()
         drained = self._block_buffer
         self._block_buffer = []
         if self._shard_samplers:

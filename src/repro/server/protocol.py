@@ -41,7 +41,7 @@ that bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 #: Machine-readable error codes -> HTTP status.
 ERROR_CODES: Dict[str, int] = {
@@ -91,7 +91,8 @@ def ok_response(result: Mapping[str, object]) -> Dict[str, object]:
 
 # ------------------------------------------------------------------ parsing
 def get_str(request: Mapping[str, object], key: str, default: Optional[str] = None,
-            *, required: bool = False, choices: Optional[tuple] = None) -> Optional[str]:
+            *, required: bool = False,
+            choices: Optional[Tuple[str, ...]] = None) -> Optional[str]:
     value = request.get(key, default)
     if value is None:
         if required:

@@ -35,7 +35,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-RandomState = Union[int, np.random.Generator, None]
+RandomState = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def ensure_rng(seed: RandomState = None) -> np.random.Generator:
@@ -44,9 +44,11 @@ def ensure_rng(seed: RandomState = None) -> np.random.Generator:
     Parameters
     ----------
     seed:
-        ``None`` (fresh entropy), an ``int`` seed, or an existing generator
-        (returned unchanged so that callers can thread one generator through
-        a whole pipeline).
+        ``None`` (fresh entropy), an ``int`` seed, a
+        :class:`numpy.random.SeedSequence` (the picklable derived children
+        :func:`shard_seed_sequences` hands to parallel shards), or an
+        existing generator (returned unchanged so that callers can thread
+        one generator through a whole pipeline).
 
     .. warning::
        Because generators pass through unchanged, giving the *same* generator
@@ -68,11 +70,14 @@ def spawn_rngs(seed: RandomState, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
     if isinstance(seed, np.random.Generator):
         # Derive children deterministically from the generator's own stream.
         child_seeds = seed.integers(0, 2**63 - 1, size=count)
         return [np.random.default_rng(int(s)) for s in child_seeds]
+    if isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
     return [np.random.default_rng(s) for s in root.spawn(count)]
 
 
@@ -120,7 +125,7 @@ def keyed_rng(seed: int, *key: int) -> np.random.Generator:
 
 def weighted_choice(
     rng: np.random.Generator,
-    items: Sequence,
+    items: Sequence[object],
     weights: Iterable[float],
 ) -> object:
     """Pick one element of ``items`` with probability proportional to ``weights``.
@@ -158,7 +163,7 @@ class BatchedCategorical:
     def __init__(
         self,
         rng: np.random.Generator,
-        items: Sequence,
+        items: Sequence[object],
         weights: Iterable[float],
         batch_size: int = 256,
     ) -> None:
@@ -174,9 +179,9 @@ class BatchedCategorical:
         total = w.sum()
         self._probabilities = w / total if total > 0 else None
         self._batch_size = batch_size
-        self._queue: list = []
+        self._queue: list[object] = []
 
-    def draw(self):
+    def draw(self) -> object:
         """One item, drawn with probability proportional to its weight."""
         if not self._queue:
             if self._probabilities is None:

@@ -38,7 +38,7 @@ class Stopwatch:
     def __enter__(self) -> "Stopwatch":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
 

@@ -1,0 +1,12 @@
+"""Known-bad fixture: nondeterminism inside a determinism-critical function."""
+
+import time
+
+
+def shape_key(queries):
+    stamp = time.time()
+    names = {query.name for query in queries}
+    parts = []
+    for name in names:
+        parts.append(name)
+    return (stamp, tuple(parts))

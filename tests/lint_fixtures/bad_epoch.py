@@ -1,0 +1,19 @@
+"""Known-bad fixture: epoch-protocol violations on a registered class name."""
+
+
+class JoinSampler:
+    def __init__(self):
+        self._root_weights = [1.0]
+        self._epoch = 0
+
+    def refresh(self):
+        self._epoch += 1
+        return False
+
+    def sample(self, count):
+        return self._root_weights[:count]
+
+    def sample_batch(self, count):
+        out = list(self._root_weights)
+        self.refresh()
+        return out[:count]

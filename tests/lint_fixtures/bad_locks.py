@@ -1,0 +1,20 @@
+"""Known-bad fixture: guarded SampleCache state touched without the lock."""
+
+import threading
+
+
+class SampleCache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self.hits = 0
+
+    def get(self, key):
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key]
+        return None
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value

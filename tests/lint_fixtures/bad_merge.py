@@ -1,0 +1,15 @@
+"""Known-bad fixture: merge-law violations in a registered accumulator."""
+
+
+class AggregateAccumulator:
+    def __init__(self):
+        self.attempts = 0
+        self.total = 0.0
+        self._weights = []
+
+    def merge(self, other):
+        self.attempts += other.attempts
+        self.total += other.total
+
+    def estimate(self):
+        return sum(self._weights)

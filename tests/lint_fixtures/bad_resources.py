@@ -1,0 +1,13 @@
+"""Known-bad fixture: leaked admission ticket and unmanaged executor."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def handle_request(controller, work):
+    ticket = controller.admit(1.0)
+    return work()
+
+
+def run_parallel(tasks):
+    pool = ThreadPoolExecutor(max_workers=2)
+    return [pool.submit(task) for task in tasks]

@@ -1,0 +1,22 @@
+"""Known-bad fixture: one violation of each RNG rule, at pinned lines."""
+
+import random
+
+import numpy as np
+
+
+def make_sampler(data, *, seed=None):
+    return (data, seed)
+
+
+def make_estimator(data, *, seed=None):
+    return (data, seed)
+
+
+def build(data):
+    rng = np.random.default_rng(7)
+    np.random.seed(7)
+    jitter = random.random()
+    sampler = make_sampler(data, seed=11)
+    estimator = make_estimator(data, seed=11)
+    return (rng, jitter, sampler, estimator)

@@ -1,0 +1,12 @@
+"""Fixture for the suppression contract: justified, standalone, and bare."""
+
+import random  # repro-lint: disable=RNG003 -- fixture: justified inline suppression
+
+
+def draw():
+    # repro-lint: disable=RNG003 -- fixture: standalone directive covers next line
+    return random.random()
+
+
+def bad_draw():
+    return random.random()  # repro-lint: disable=RNG003
