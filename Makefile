@@ -1,6 +1,6 @@
 PYTHONPATH := src
 
-.PHONY: test lint bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-reuse bench-server bench-updates bench-full profile serve
+.PHONY: test lint bench bench-aqp bench-parallel bench-pipeline bench-resilience bench-reuse bench-server bench-overload bench-updates bench-full profile serve
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -61,6 +61,12 @@ bench-updates:
 # root (see docs/server.md).
 bench-server:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_server.py
+
+# Overload robustness benchmark (fault-free overhead budget, 5x offered-load
+# shedding with structured Retry-After + bit-identical replays, transport
+# chaos drain-to-zero): writes BENCH_overload.json (see docs/overload.md).
+bench-overload:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_overload.py
 
 # Cross-query sample-cache benchmark (repeated-with-variation aggregates,
 # cached vs cold, 5x speedup + cold-purity hard gates): writes

@@ -206,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-bytes", type=int, default=None,
                        help="cache memory budget in bytes before LRU "
                        "eviction (default 64 MiB; requires --cache)")
+    serve.add_argument("--no-overload", action="store_true",
+                       help="disable the overload layer (health state "
+                       "machine, load shedding, circuit breakers, watchdog; "
+                       "see docs/overload.md)")
+    serve.add_argument("--capacity-seconds", type=float, default=None,
+                       help="priced-seconds the server executes concurrently "
+                       "before queueing/shedding (default 60.0)")
+    serve.add_argument("--backlog-seconds", type=float, default=None,
+                       help="priced-seconds allowed to queue behind capacity "
+                       "before new work is shed with 429 (default 30.0)")
+    serve.add_argument("--connection-timeout", type=float, default=30.0,
+                       help="per-connection socket read/write timeout in "
+                       "seconds, the slow-loris bound (0 disables)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
     return parser
@@ -557,11 +570,40 @@ def command_figure(args: argparse.Namespace) -> int:
 def command_serve(args: argparse.Namespace) -> int:
     # Deferred import: the server stack (and its pool) is only paid for by
     # the one subcommand that serves.
-    from repro.server import AdmissionLimits, SamplingService, start_server
+    from repro.server import (
+        AdmissionLimits,
+        OverloadConfig,
+        SamplingService,
+        start_server,
+    )
 
     if args.port < 0 or args.port > 65535:
         print(f"error: --port must be in [0, 65535], got {args.port}", file=sys.stderr)
         return 2
+    overload_flags = (args.capacity_seconds is not None
+                      or args.backlog_seconds is not None)
+    if args.no_overload and overload_flags:
+        print("error: --capacity-seconds/--backlog-seconds tune the overload "
+              "layer; drop --no-overload", file=sys.stderr)
+        return 2
+    if args.no_overload:
+        overload = False
+    elif overload_flags:
+        defaults = OverloadConfig()
+        try:
+            overload = OverloadConfig(
+                capacity_seconds=(defaults.capacity_seconds
+                                  if args.capacity_seconds is None
+                                  else args.capacity_seconds),
+                backlog_seconds=(defaults.backlog_seconds
+                                 if args.backlog_seconds is None
+                                 else args.backlog_seconds),
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        overload = True
     if args.cache_bytes is not None and not args.cache:
         print("error: --cache-bytes sizes the sample cache; add --cache",
               file=sys.stderr)
@@ -588,12 +630,15 @@ def command_serve(args: argparse.Namespace) -> int:
             ),
             warm_on_start=not args.no_warm,
             cache=cache,
+            overload=overload,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     server, thread = start_server(
-        service, host=args.host, port=args.port, verbose=args.verbose
+        service, host=args.host, port=args.port, verbose=args.verbose,
+        connection_timeout=(None if args.connection_timeout <= 0
+                            else args.connection_timeout),
     )
     # The exact line (flushed!) the smoke harness and orchestrators wait for;
     # with --port 0 it is the only way to learn the bound port.

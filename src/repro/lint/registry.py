@@ -105,6 +105,32 @@ LOCK_REGISTRY: Dict[str, LockContract] = {
             )
         }
     ),
+    # PR 10: every handler thread records latencies into the health EWMAs;
+    # a torn p99/state pair mis-triggers (or misses) a shed transition.
+    "HealthMonitor": LockContract(
+        locks={
+            "_lock": frozenset(
+                {"_p99", "_miss_rate", "_state", "_state_since", "_observations"}
+            )
+        }
+    ),
+    # PR 10: the priced-seconds reservation ledger; reserved/queued drifting
+    # out from under the condition variable wedges the backpressure queue.
+    "OverloadGate": LockContract(
+        locks={
+            "_cond": frozenset({"_reserved", "_queued", "admitted", "sheds"})
+        }
+    ),
+    # PR 10: breaker states shared by every handler; an unguarded half-open
+    # probe count lets concurrent probes stampede a recovering query.
+    "BreakerRegistry": LockContract(
+        locks={"_lock": frozenset({"_breakers", "rejections"})}
+    ),
+    # PR 10: watch/release tickets come from handler threads while scan()
+    # runs from anywhere; the active table must move atomically.
+    "Watchdog": LockContract(
+        locks={"_lock": frozenset({"_active", "_next_id", "stuck_seen"})}
+    ),
 }
 
 
@@ -205,6 +231,11 @@ DETERMINISM_FUNCTIONS: FrozenSet[str] = frozenset(
         "observed_versions",
         "shard_seed_sequences",
         "keyed_rng",
+        # PR 10: the Retry-After hint must be a pure function of queue
+        # state, and client backoff a pure function of (seed, attempt) —
+        # wall-clock in either makes overload runs unreplayable.
+        "retry_after_hint",
+        "backoff_for",
     }
 )
 
@@ -238,6 +269,9 @@ NONDETERMINISTIC_CALLS: FrozenSet[str] = frozenset(
 RESOURCE_ACQUISITIONS: Dict[str, FrozenSet[str]] = {
     "admit": frozenset({"release"}),
     "acquire_slot": frozenset({"release_slot", "release"}),
+    # PR 10: a watchdog ticket not released leaves a phantom "stuck"
+    # request that keeps /health degraded forever.
+    "watch": frozenset({"release"}),
 }
 
 #: executor factories that own OS threads/processes: every construction

@@ -32,6 +32,7 @@ from repro.resilience.errors import (
 )
 from repro.resilience.faults import (
     FAULT_KINDS,
+    HTTP_FAULT_KINDS,
     KILL_EXIT_CODE,
     NO_FAULTS,
     FaultAction,
@@ -53,6 +54,7 @@ from repro.resilience.supervisor import (
 
 __all__ = [
     "FAULT_KINDS",
+    "HTTP_FAULT_KINDS",
     "KILL_EXIT_CODE",
     "LADDER",
     "NO_FAULTS",

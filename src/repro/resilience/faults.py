@@ -53,10 +53,20 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.utils.rng import keyed_rng
 
-FAULT_KINDS = ("raise", "sleep", "kill", "corrupt")
+#: Transport-level fault kinds, performed by a misbehaving *client* against
+#: the HTTP server (see :mod:`repro.server.chaos`) rather than inside a
+#: worker: a connection reset mid-response, a drip-feeding slow writer, an
+#: oversized Content-Length, and a malformed-JSON body.  They ride the same
+#: :class:`FaultPlan` keying — ``action_for(request_index, attempt)`` — so a
+#: transport chaos run is exactly as replayable as a shard chaos run.
+HTTP_FAULT_KINDS = ("reset", "slow-write", "oversize", "garbage")
+
+FAULT_KINDS = ("raise", "sleep", "kill", "corrupt") + HTTP_FAULT_KINDS
 
 #: Fault kinds applied *before* the shard samples (vs. ``corrupt``, applied
-#: to the finished result).
+#: to the finished result).  HTTP kinds are no-ops inside a worker: they
+#: only mean something at a socket, and :func:`apply_pre_fault` ignores
+#: them so a mixed-kind plan can drive both layers from one seed.
 PRE_FAULT_KINDS = ("raise", "sleep", "kill")
 
 
@@ -203,6 +213,7 @@ KILL_EXIT_CODE = 117
 
 __all__ = [
     "FAULT_KINDS",
+    "HTTP_FAULT_KINDS",
     "KILL_EXIT_CODE",
     "NO_FAULTS",
     "PRE_FAULT_KINDS",

@@ -3,7 +3,11 @@
 Load the relations once, keep the per-query sampling structures warm, and
 serve concurrent ``sample``/``aggregate`` jobs over JSON-over-HTTP — each
 answer epoch-consistent, admission-controlled, and bit-identical to the
-same request served sequentially.  See ``docs/server.md``.
+same request served sequentially.  The overload layer
+(:mod:`repro.server.overload`) adds graceful degradation on top: a health
+state machine, priced-seconds backpressure with load shedding, per-query
+circuit breakers, and a stuck-request watchdog.  See ``docs/server.md``
+and ``docs/overload.md``.
 """
 
 from repro.server.admission import (
@@ -11,24 +15,49 @@ from repro.server.admission import (
     AdmissionLimits,
     AdmissionTicket,
 )
+from repro.server.chaos import ChaosClient
 from repro.server.http import (
     SamplingHTTPServer,
     ServerClient,
     ServerError,
     start_server,
 )
-from repro.server.protocol import ERROR_CODES, RequestError
+from repro.server.overload import (
+    DEGRADED,
+    HEALTH_STATES,
+    HEALTHY,
+    OVERLOADED,
+    BreakerRegistry,
+    HealthMonitor,
+    OverloadConfig,
+    OverloadGate,
+    Watchdog,
+    retry_after_hint,
+)
+from repro.server.protocol import ERROR_CODES, RETRYABLE_CODES, RequestError
 from repro.server.service import SamplingService
 
 __all__ = [
+    "DEGRADED",
     "ERROR_CODES",
+    "HEALTHY",
+    "HEALTH_STATES",
+    "OVERLOADED",
+    "RETRYABLE_CODES",
     "AdmissionController",
     "AdmissionLimits",
     "AdmissionTicket",
+    "BreakerRegistry",
+    "ChaosClient",
+    "HealthMonitor",
+    "OverloadConfig",
+    "OverloadGate",
     "RequestError",
     "SamplingHTTPServer",
     "SamplingService",
     "ServerClient",
     "ServerError",
+    "Watchdog",
+    "retry_after_hint",
     "start_server",
 ]

@@ -30,6 +30,7 @@ inflight drains back to zero no matter how requests end.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass
 from typing import Optional, Sequence
@@ -135,6 +136,7 @@ class AdmissionController:
         *,
         warm: bool = False,
         cached_samples: int = 0,
+        priced: Optional[float] = None,
     ) -> AdmissionTicket:
         """Admit the request or raise ``admission-rejected``.
 
@@ -143,6 +145,14 @@ class AdmissionController:
         locked step.  The returned ticket MUST be released in a ``finally``:
         the reservation survives any exception the request raises later, and
         only ``release()`` gives it back.
+
+        ``priced`` short-circuits the pricing step with a cost the caller
+        already computed (the overload gate prices first) — the cost model
+        is deterministic, so pricing once and reusing is exact, not a
+        shortcut.  Transient rejections (the inflight cap) carry a
+        ``retry_after`` hint — the mean priced seconds per inflight request
+        approximates the time until a slot frees; budget/ceiling rejections
+        are permanent for that request and carry none.
         """
         limits = self.limits
         if sample_size > limits.max_samples:
@@ -157,9 +167,10 @@ class AdmissionController:
                 max_samples=limits.max_samples,
                 requested_samples=sample_size,
             )
-        priced = self.price(
-            queries, sample_size, warm=warm, cached_samples=cached_samples
-        )
+        if priced is None:
+            priced = self.price(
+                queries, sample_size, warm=warm, cached_samples=cached_samples
+            )
         if priced > limits.max_request_seconds:
             with self._lock:
                 self.rejected += 1
@@ -181,6 +192,7 @@ class AdmissionController:
                     f"(limit {limits.max_inflight}); retry later",
                     limit="max_inflight",
                     max_inflight=limits.max_inflight,
+                    retry_after=self._retry_hint_locked(),
                 )
             self._inflight += 1
             self._inflight_seconds += priced
@@ -216,6 +228,7 @@ class AdmissionController:
                     f"(limit {self.limits.max_inflight}); retry later",
                     limit="max_inflight",
                     max_inflight=self.limits.max_inflight,
+                    retry_after=self._retry_hint_locked(),
                 )
             self._inflight += 1
             self.admitted += 1
@@ -226,6 +239,17 @@ class AdmissionController:
                 self._inflight -= 1
 
     # --------------------------------------------------------------- internals
+    def _retry_hint_locked(self) -> int:
+        """Seconds until a slot plausibly frees; caller holds ``_lock``.
+
+        The mean priced seconds per inflight request is the expected drain
+        time of one slot under FIFO-ish completion — a hint, not a promise,
+        floored at 1s so clients never busy-spin on a zero.
+        """
+        if self._inflight <= 0:
+            return 1
+        return max(1, int(math.ceil(self._inflight_seconds / self._inflight)))
+
     def _release(self, ticket: AdmissionTicket) -> None:
         with self._lock:
             if self._inflight > 0:

@@ -1,0 +1,219 @@
+"""Transport-level chaos: deterministic misbehaving HTTP clients.
+
+The PR 6 fault harness injects failures *inside* workers; production
+failures just as often arrive at the socket — clients that reset
+connections mid-response, drip-feed bytes, claim absurd Content-Lengths, or
+flood the server with garbage.  :class:`ChaosClient` performs exactly those
+four misbehaviors (:data:`~repro.resilience.faults.HTTP_FAULT_KINDS`)
+against a live :class:`~repro.server.http.SamplingHTTPServer`, scheduled by
+the same :class:`~repro.resilience.faults.FaultPlan` machinery — the strike
+for request index ``i`` is ``plan.action_for(i, attempt)``, a pure function
+of ``(plan.seed, i, attempt)``, so a transport chaos run replays bit for
+bit.
+
+The server is expected to *survive* every strike with bounded resources:
+
+``"garbage"`` / ``"oversize"``
+    Answered with a structured 400 (malformed JSON / refused-unread body)
+    and, for oversize, a dropped connection.
+``"reset"``
+    The client vanishes mid-response with an RST; the handler's write
+    fails, :meth:`SamplingHTTPServer.handle_error` counts it quietly
+    (``transport_errors`` in ``/stats``) and the thread exits.
+``"slow-write"``
+    The client drip-feeds the body slower than the per-connection socket
+    timeout; the server drops the connection instead of letting the
+    handler thread be pinned (the slow-loris defense).
+
+Every strike helper swallows the connection errors the *server's* defense
+is supposed to cause — a reset socket mid-strike is the expected outcome,
+not a harness failure — and returns a small outcome dict for the caller's
+accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import time
+from typing import Dict, Optional
+
+from repro.resilience.faults import FaultAction, FaultPlan, HTTP_FAULT_KINDS
+from repro.server.http import MAX_REQUEST_BYTES
+
+
+def _recv_all(sock: socket.socket, limit: int = 65536) -> bytes:
+    """Read until the peer closes, errors, or ``limit`` bytes arrive."""
+    chunks = []
+    total = 0
+    try:
+        while total < limit:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+    except OSError:
+        pass
+    return b"".join(chunks)
+
+
+def _status_of(raw: bytes) -> Optional[int]:
+    """HTTP status code of a raw response, or None if unparseable."""
+    try:
+        head = raw.split(b"\r\n", 1)[0].decode("latin-1")
+        return int(head.split()[1])
+    except (IndexError, ValueError, UnicodeDecodeError):
+        return None
+
+
+class ChaosClient:
+    """Drive one server with deterministic transport-level misbehavior."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        plan: FaultPlan,
+        *,
+        timeout: float = 5.0,
+        slow_write_seconds: float = 1.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.plan = plan
+        self.timeout = timeout
+        self.slow_write_seconds = slow_write_seconds
+        self.strikes: Dict[str, int] = {kind: 0 for kind in HTTP_FAULT_KINDS}
+
+    # ------------------------------------------------------------- scheduling
+    def action_for(self, index: int, attempt: int = 0) -> Optional[FaultAction]:
+        """The transport strike scheduled for request ``index``, if any."""
+        action = self.plan.action_for(index, attempt)
+        if action is None or action.kind not in HTTP_FAULT_KINDS:
+            return None
+        return action
+
+    def strike(self, index: int, attempt: int = 0) -> Optional[Dict[str, object]]:
+        """Perform the scheduled strike for ``index``; None when none is due."""
+        action = self.action_for(index, attempt)
+        if action is None:
+            return None
+        outcome = getattr(self, "_" + action.kind.replace("-", "_"))()
+        self.strikes[action.kind] += 1
+        outcome["kind"] = action.kind
+        outcome["index"] = index
+        return outcome
+
+    # ---------------------------------------------------------------- strikes
+    def _connect(self) -> socket.socket:
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _garbage(self) -> Dict[str, object]:
+        """POST a malformed-JSON body; the server must answer 400."""
+        body = b'{"kind": "sample", not json at all &&&'
+        request = (
+            b"POST /api HTTP/1.1\r\n"
+            b"Host: chaos\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        sock = self._connect()
+        try:
+            sock.sendall(request)
+            return {"status": _status_of(_recv_all(sock))}
+        except OSError:
+            return {"status": None}
+        finally:
+            sock.close()
+
+    def _oversize(self) -> Dict[str, object]:
+        """Claim a body larger than MAX_REQUEST_BYTES; expect a 400, unread."""
+        request = (
+            b"POST /api HTTP/1.1\r\n"
+            b"Host: chaos\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(MAX_REQUEST_BYTES + 1).encode() + b"\r\n"
+            b"\r\n"
+        )
+        sock = self._connect()
+        try:
+            sock.sendall(request)
+            # The server must reply *without* waiting for the body it would
+            # never be willing to read, then drop the connection.
+            return {"status": _status_of(_recv_all(sock))}
+        except OSError:
+            return {"status": None}
+        finally:
+            sock.close()
+
+    def _reset(self) -> Dict[str, object]:
+        """Send a valid request, then vanish mid-response with an RST."""
+        body = json.dumps({"kind": "stats"}).encode()
+        request = (
+            b"POST /api HTTP/1.1\r\n"
+            b"Host: chaos\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        sock = self._connect()
+        got = b""
+        try:
+            sock.sendall(request)
+            got = sock.recv(64)  # let the response start flowing
+        except OSError:
+            pass
+        try:
+            # SO_LINGER(on, 0): close() sends RST instead of FIN, aborting
+            # whatever the handler is still writing.
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+        except OSError:
+            pass
+        sock.close()
+        return {"got_bytes": len(got)}
+
+    def _slow_write(self) -> Dict[str, object]:
+        """Stall mid-body longer than the server's connection timeout.
+
+        The defense is a *per-read* socket timeout, so the strike that
+        tests it is a gap between reads: headers plus half the promised
+        body, then ``slow_write_seconds`` of silence, then an attempt to
+        finish.  A correctly defended server has dropped the connection
+        during the stall, observed here as a send failure, an error, or an
+        empty (EOF) read instead of an HTTP response.
+        """
+        body = b'{"kind": "health"}                      '
+        headers = (
+            b"POST /api HTTP/1.1\r\n"
+            b"Host: chaos\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n"
+        )
+        half = len(body) // 2
+        sock = self._connect()
+        cut = False
+        try:
+            sock.sendall(headers + body[:half])
+            time.sleep(self.slow_write_seconds)
+            sock.sendall(body[half:])
+            # If the server dropped us mid-stall, the late bytes vanish
+            # into a closed peer: the read sees EOF (or a reset), never a
+            # well-formed response.
+            cut = _status_of(_recv_all(sock)) is None
+        except OSError:
+            cut = True
+        finally:
+            sock.close()
+        return {"stalled_seconds": self.slow_write_seconds,
+                "connection_cut": cut}
+
+
+__all__ = ["ChaosClient"]

@@ -21,12 +21,16 @@ regime the service's epoch protocol and warm-clone design are built for.
 from __future__ import annotations
 
 import json
+import math
+import sys
 import threading
+import time
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.server.protocol import ERROR_CODES
+from repro.resilience.supervisor import RetryPolicy
+from repro.server.protocol import ERROR_CODES, RETRYABLE_CODES
 from repro.server.service import SamplingService
 
 #: requests larger than this are refused unread (a body this size is never
@@ -40,6 +44,15 @@ class SamplingRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server: "SamplingHTTPServer"
 
+    def setup(self) -> None:
+        # Slow-loris defense: a per-connection socket timeout bounds every
+        # blocking read *and* write against this client, so a stalled or
+        # drip-feeding peer can pin a daemon handler thread for at most
+        # `connection_timeout` seconds before the connection is dropped
+        # (BaseHTTPRequestHandler turns the timeout into close_connection).
+        self.timeout = self.server.connection_timeout
+        super().setup()
+
     # ------------------------------------------------------------------ verbs
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         if self.path.rstrip("/") not in ("", "/api"):
@@ -51,6 +64,10 @@ class SamplingRequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = -1
         if length < 0 or length > MAX_REQUEST_BYTES:
+            # The body is refused *unread*; whatever the client sends next
+            # is unparseable mid-stream, so drop the connection after the
+            # structured reply instead of misreading body bytes as requests.
+            self.close_connection = True
             self._reply(400, {"ok": False, "error": {
                 "code": "invalid-request",
                 "message": f"bad or oversized Content-Length {length}"}})
@@ -87,6 +104,18 @@ class SamplingRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = None
+        error = payload.get("error")
+        if isinstance(error, Mapping):
+            retry_after = error.get("retry_after")
+        if (
+            isinstance(retry_after, (int, float))
+            and not isinstance(retry_after, bool)
+            and retry_after > 0
+        ):
+            # Standard header mirror of the payload hint, so plain HTTP
+            # clients (and proxies) can honor sheds without parsing JSON.
+            self.send_header("Retry-After", str(int(math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -106,14 +135,31 @@ class SamplingHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: SamplingService,
         verbose: bool = False,
+        connection_timeout: Optional[float] = 30.0,
     ) -> None:
         self.service = service
         self.verbose = verbose
+        self.connection_timeout = connection_timeout
         super().__init__(address, SamplingRequestHandler)
 
     @property
     def port(self) -> int:
         return self.server_address[1]
+
+    def handle_error(self, request: object, client_address: object) -> None:
+        """Client-side transport failures are chaos, not server bugs.
+
+        A peer that resets mid-response, stalls past the socket timeout, or
+        vanishes raises out of the handler thread; counting it quietly (the
+        ``transport_errors`` counter in ``/stats``) keeps the chaos harness
+        from flooding stderr while real handler bugs still get the full
+        traceback treatment.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, TimeoutError)):
+            self.service.note_transport_error()
+            return
+        super().handle_error(request, client_address)
 
 
 def start_server(
@@ -121,14 +167,19 @@ def start_server(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    connection_timeout: Optional[float] = 30.0,
 ) -> Tuple[SamplingHTTPServer, threading.Thread]:
     """Bind and start serving on a daemon thread; returns (server, thread).
 
     ``port=0`` binds an ephemeral port — read the actual one off
     ``server.port``.  Call ``server.shutdown()`` then ``service.close()``
-    to stop.
+    to stop.  ``connection_timeout`` bounds every per-connection socket
+    read/write (slow-loris defense); ``None`` disables it.
     """
-    server = SamplingHTTPServer((host, port), service, verbose=verbose)
+    server = SamplingHTTPServer(
+        (host, port), service, verbose=verbose,
+        connection_timeout=connection_timeout,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="repro-server", daemon=True
     )
@@ -137,12 +188,28 @@ def start_server(
 
 
 class ServerError(RuntimeError):
-    """Raised by :meth:`ServerClient.call` on an error payload."""
+    """Raised by :meth:`ServerClient.call` on an error payload.
+
+    ``retry_after`` is the server's machine-readable hint in seconds when
+    the rejection is transient (load sheds, open breakers), ``None`` when
+    retrying cannot help (an oversized request stays oversized).
+    """
 
     def __init__(self, code: str, message: str, details: Dict[str, object]) -> None:
         self.code = code
         self.details = details
         super().__init__(f"[{code}] {message}")
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.details.get("retry_after")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in RETRYABLE_CODES
 
 
 class ServerClient:
@@ -151,13 +218,40 @@ class ServerClient:
     One connection per request: the load generator runs many client threads,
     and per-request connections sidestep every connection-reuse/threading
     subtlety at a latency cost that is noise next to the sampling itself.
+
+    Retries
+    -------
+    ``retries > 0`` arms a bounded retry loop in :meth:`call`: transient
+    rejections (:data:`~repro.server.protocol.RETRYABLE_CODES`) and
+    transport failures (connection refused/reset, socket timeouts) are
+    retried with the PR 6 :class:`~repro.resilience.supervisor.RetryPolicy`
+    — exponential backoff whose jitter comes from ``keyed_rng(retry_seed,
+    request seed, attempt)``, deterministic per (client, request, attempt)
+    — and the server's ``Retry-After`` hint, when present, *raises* the
+    backoff floor (capped at ``max_retry_after`` so a test client never
+    sleeps a production-sized hint).  Retrying is safe by construction:
+    every answer is a pure function of (request, snapshot), so a replay can
+    never double-apply work.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8765,
-                 timeout: float = 120.0) -> None:
+                 timeout: float = 120.0, retries: int = 0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 retry_seed: int = 0,
+                 max_retry_after: float = 5.0) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_retries=retries, backoff_base=0.05, backoff_cap=2.0,
+            jitter=0.5, jitter_seed=retry_seed,
+        )
+        self.max_retry_after = max_retry_after
+        #: transparency counter: total retry sleeps this client performed
+        self.retries_performed = 0
 
     def request(self, payload: Mapping[str, object]) -> Dict[str, object]:
         """POST one request; returns the decoded payload, errors included."""
@@ -173,17 +267,46 @@ class ServerClient:
         finally:
             connection.close()
 
+    def _retry_delay(self, payload: Mapping[str, object], attempt: int,
+                     hint: Optional[float]) -> float:
+        """Backoff before retry ``attempt`` (1-based), honoring the hint."""
+        seed = payload.get("seed", 0)
+        key = seed if isinstance(seed, int) and not isinstance(seed, bool) else 0
+        delay = self.retry_policy.backoff_for(key, attempt)
+        if hint is not None:
+            delay = max(delay, min(float(hint), self.max_retry_after))
+        return delay
+
     def call(self, payload: Mapping[str, object]) -> Dict[str, object]:
         """POST one request; returns ``result`` or raises :class:`ServerError`."""
-        answer = self.request(payload)
-        if answer.get("ok"):
-            return answer["result"]
-        error = answer.get("error", {})
-        raise ServerError(
-            error.get("code", "internal"),
-            error.get("message", "malformed error payload"),
-            {k: v for k, v in error.items() if k not in ("code", "message")},
-        )
+        attempt = 0
+        while True:
+            try:
+                answer = self.request(payload)
+            except (ConnectionError, TimeoutError, OSError):
+                # The transport died before a structured answer existed;
+                # purity makes the replay safe, so treat it like a shed.
+                if attempt >= self.retries:
+                    raise
+                time.sleep(self._retry_delay(payload, attempt + 1, None))
+                attempt += 1
+                self.retries_performed += 1
+                continue
+            if answer.get("ok"):
+                return answer["result"]
+            error = answer.get("error", {})
+            server_error = ServerError(
+                error.get("code", "internal"),
+                error.get("message", "malformed error payload"),
+                {k: v for k, v in error.items() if k not in ("code", "message")},
+            )
+            if not server_error.retryable or attempt >= self.retries:
+                raise server_error
+            time.sleep(
+                self._retry_delay(payload, attempt + 1, server_error.retry_after)
+            )
+            attempt += 1
+            self.retries_performed += 1
 
     # ------------------------------------------------------- request builders
     def sample(self, query: str, count: int, **options: object) -> Dict[str, object]:

@@ -32,6 +32,12 @@ Request kinds
 ``health`` / ``stats``
     No arguments; liveness echo and server counters.
 
+Retry contract: transient rejections (the :data:`RETRYABLE_CODES` — load
+sheds, open breakers, exhausted epoch restarts) carry a machine-readable
+``retry_after`` detail (seconds), mirrored by the HTTP layer as a standard
+``Retry-After`` header; permanent refusals never do.  See
+``docs/overload.md``.
+
 Determinism contract: a ``sample``/``aggregate`` response is a pure function
 of the request (including ``seed``) and the database snapshot it ran
 against — never of what else the server is doing concurrently.  The
@@ -60,9 +66,23 @@ ERROR_CODES: Dict[str, int] = {
     "empty-result": 504,
     # Mutations kept landing mid-flight until the restart budget ran out.
     "epoch-restart-exhausted": 503,
+    # The overload gate is shedding all priced work until pressure drains
+    # (health state OVERLOADED); the payload carries a retry_after hint.
+    "overloaded": 503,
+    # The per-(query, weights) circuit breaker is open after consecutive
+    # deadline/epoch failures; retry_after is the remaining open window.
+    "circuit-open": 503,
     # Anything else (reported honestly, with the exception text).
     "internal": 500,
 }
+
+#: codes a client may retry verbatim: the refusal is about *when* the
+#: request arrived, not about the request itself — and every answer is a
+#: pure function of (request, snapshot), so a retry can never double-apply.
+RETRYABLE_CODES = frozenset(
+    {"admission-rejected", "overloaded", "circuit-open",
+     "epoch-restart-exhausted"}
+)
 
 
 class RequestError(Exception):
@@ -78,6 +98,20 @@ class RequestError(Exception):
     @property
     def http_status(self) -> int:
         return ERROR_CODES[self.code]
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Computed retry hint in seconds, when the rejection is transient.
+
+        Present on load sheds (429/503) and open breakers; absent on
+        permanent refusals (an oversized request stays oversized no matter
+        when it is retried).  The HTTP layer mirrors it as a standard
+        ``Retry-After`` header.
+        """
+        value = self.details.get("retry_after")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
 
     def to_payload(self) -> Dict[str, object]:
         error: Dict[str, object] = {"code": self.code, "message": str(self)}
@@ -153,6 +187,7 @@ def get_bool(request: Mapping[str, object], key: str, default: bool = False) -> 
 
 __all__ = [
     "ERROR_CODES",
+    "RETRYABLE_CODES",
     "RequestError",
     "get_bool",
     "get_float",

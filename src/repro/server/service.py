@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,6 +61,16 @@ from repro.parallel.shards import observed_versions
 from repro.resilience import EmptyResultError, JobDeadlineExceeded
 from repro.sampling.join_sampler import JoinSampler
 from repro.server.admission import AdmissionController, AdmissionLimits
+from repro.server.overload import (
+    BREAKER_FAILURE_CODES,
+    HEALTHY,
+    BreakerRegistry,
+    Clock,
+    HealthMonitor,
+    OverloadConfig,
+    OverloadGate,
+    Watchdog,
+)
 from repro.server.protocol import (
     RequestError,
     get_bool,
@@ -76,6 +86,13 @@ from repro.utils.rng import spawn_rngs
 _WEIGHTS_TO_BACKEND = {w: b for b, w in BACKEND_WEIGHTS.items()}
 
 _KINDS = ("sample", "aggregate", "mutate", "health", "stats")
+#: error codes that mean "the request never ran" — they carry no latency
+#: signal and must not poison the health monitor's EWMAs.
+_UNEXECUTED_CODES = frozenset(
+    {"admission-rejected", "overloaded", "circuit-open",
+     "invalid-request", "unknown-query"}
+)
+_SHED_CODES = frozenset({"admission-rejected", "overloaded", "circuit-open"})
 _AGGREGATES = ("count", "sum", "avg")
 _METHODS = ("auto", "exact-weight", "olken", "wander-join", "online-union")
 
@@ -127,6 +144,16 @@ class SamplingService:
         before it, so it is strictly opt-in — without it every response
         stays a pure function of ``(request, snapshot)``.  Individual
         requests opt out with ``"cache": false`` even on a caching server.
+    overload:
+        The overload-robustness layer (see :mod:`repro.server.overload` and
+        ``docs/overload.md``): health state machine, priced-seconds
+        backpressure/shedding, per-(query, weights) circuit breakers, and
+        the stuck-request watchdog.  ``True`` (default) enables it with
+        :class:`OverloadConfig` defaults, ``False`` disables it (PR 7
+        behavior), or pass a config to tune the thresholds.
+    clock:
+        Monotonic clock the overload layer runs on; tests inject a manual
+        clock to pin state transitions deterministically.
     """
 
     def __init__(
@@ -144,6 +171,8 @@ class SamplingService:
         warm_on_start: bool = True,
         sample_chunk: int = 1024,
         cache: Optional[SampleCache] = None,
+        overload: Union[OverloadConfig, bool, None] = True,
+        clock: Optional[Clock] = None,
     ) -> None:
         if sample_chunk < 1:
             raise ValueError(f"sample_chunk must be >= 1, got {sample_chunk}")
@@ -157,6 +186,26 @@ class SamplingService:
         self.cache = cache
         self.max_epoch_restarts = int(max_epoch_restarts)
         self.sample_chunk = int(sample_chunk)
+        # ---- overload layer (docs/overload.md): the injected clock makes
+        # every health/breaker/watchdog transition unit-testable; `True`
+        # enables the layer with defaults, `False`/`None` disables it (the
+        # gate then hands out free no-op tickets so the handler shape —
+        # admit in, release in a finally — is identical either way).
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        if overload is True:
+            overload_config: Optional[OverloadConfig] = OverloadConfig()
+        elif not overload:
+            overload_config = None
+        else:
+            overload_config = overload
+        self.overload_config = overload_config
+        base_config = overload_config or OverloadConfig()
+        self._monitor = HealthMonitor(base_config, self._clock)
+        self._overload = OverloadGate(overload_config, self._monitor, self._clock)
+        self._breakers = BreakerRegistry(
+            base_config, self._clock, enabled=overload_config is not None
+        )
+        self._watchdog = Watchdog(base_config, self._clock)
         self._prototypes: Dict[Tuple[str, str], JoinSampler] = {}
         self._proto_lock = threading.Lock()
         self._proto_builds: Dict[Tuple[str, str], threading.Lock] = {}
@@ -172,6 +221,8 @@ class SamplingService:
             "prototype_builds": 0,
             "cache_requests": 0,
             "cache_invalidations": 0,
+            "shed_requests": 0,
+            "transport_errors": 0,
         }
         self._closed = False
         #: test hook: called after every warm-path chunk, before its epoch
@@ -237,6 +288,8 @@ class SamplingService:
         """Answer one request dict; never raises — errors become payloads."""
         with self._stats_lock:
             self._counters["requests"] += 1
+        started = self._clock()
+        kind: Optional[str] = None
         try:
             if not isinstance(request, Mapping):
                 raise RequestError("invalid-request", "request must be a JSON object")
@@ -257,23 +310,66 @@ class SamplingService:
             else:
                 result = self._handle_aggregate(request)
         except RequestError as error:
-            return self._error(error)
+            return self._finish(self._error(error), kind, started)
         except JobDeadlineExceeded as error:
-            return self._error(RequestError("deadline-exceeded", str(error)))
+            return self._finish(
+                self._error(RequestError("deadline-exceeded", str(error))),
+                kind, started,
+            )
         except EmptyResultError as error:
-            return self._error(RequestError("empty-result", str(error)))
+            return self._finish(
+                self._error(RequestError("empty-result", str(error))),
+                kind, started,
+            )
         except ValueError as error:
-            return self._error(RequestError("invalid-request", str(error)))
+            return self._finish(
+                self._error(RequestError("invalid-request", str(error))),
+                kind, started,
+            )
         except RuntimeError as error:
             code = "epoch-restart-exhausted" if "mutation epoch" in str(error) else "internal"
-            return self._error(RequestError(code, str(error)))
+            return self._finish(
+                self._error(RequestError(code, str(error))), kind, started
+            )
         except Exception as error:  # noqa: BLE001 - the server must not die
-            return self._error(
-                RequestError("internal", f"{type(error).__name__}: {error}")
+            return self._finish(
+                self._error(
+                    RequestError("internal", f"{type(error).__name__}: {error}")
+                ),
+                kind, started,
             )
         with self._stats_lock:
             self._counters["ok"] += 1
-        return ok_response(result)
+        return self._finish(ok_response(result), kind, started)
+
+    def _finish(
+        self,
+        payload: Dict[str, object],
+        kind: Optional[str],
+        started: float,
+    ) -> Dict[str, object]:
+        """Feed the health monitor from the finished request's outcome.
+
+        Only executed ``sample``/``aggregate`` work carries a latency
+        signal; sheds and caller mistakes return in microseconds and would
+        drag the p99/miss EWMAs toward rosy, so they only bump counters.
+        """
+        if kind not in ("sample", "aggregate"):
+            return payload
+        code: Optional[str] = None
+        if not payload.get("ok"):
+            error = payload.get("error")
+            code = error.get("code") if isinstance(error, dict) else "internal"
+        if code in _SHED_CODES:
+            with self._stats_lock:
+                self._counters["shed_requests"] += 1
+        if code in _UNEXECUTED_CODES:
+            return payload
+        self._monitor.record(
+            self._clock() - started,
+            deadline_missed=code in ("deadline-exceeded", "empty-result"),
+        )
+        return payload
 
     def _error(self, error: RequestError) -> Dict[str, object]:
         with self._stats_lock:
@@ -307,26 +403,62 @@ class SamplingService:
         max_attempts = get_int(request, "max_attempts", 1_000_000, minimum=1)
         union = len(queries) > 1
         warm = not union and workers == 1
-        ticket = self.admission.admit(queries, count, warm=warm)
+        # Price once, up front: the overload gate and the admission
+        # controller both account the same deterministic cost-model seconds.
+        priced = self.admission.price(queries, count, warm=warm)
+        breaker_key = (label, weights)
+        self._breakers.check(breaker_key)
+        outcome = "neutral"
         try:
-            with self._stats_lock:
-                self._counters["warm_requests" if warm else "pool_requests"] += 1
-
-            if warm:
-                result = self._sample_warm(
-                    queries[0], count, seed, weights, deadline, allow_partial,
-                    max_attempts,
+            gate_ticket = self._overload.admit(priced)
+            try:
+                ticket = self.admission.admit(
+                    queries, count, warm=warm, priced=priced
                 )
-            else:
-                result = self._sample_pooled(
-                    queries, count, seed, weights, workers, deadline,
-                    allow_partial, max_attempts, union,
-                )
+                try:
+                    watch = self._watchdog.watch("sample", label, deadline)
+                    try:
+                        with self._stats_lock:
+                            self._counters[
+                                "warm_requests" if warm else "pool_requests"
+                            ] += 1
+                        if warm:
+                            result = self._sample_warm(
+                                queries[0], count, seed, weights, deadline,
+                                allow_partial, max_attempts,
+                            )
+                        else:
+                            result = self._sample_pooled(
+                                queries, count, seed, weights, workers,
+                                deadline, allow_partial, max_attempts, union,
+                            )
+                        outcome = "success"
+                    finally:
+                        watch.release()
+                finally:
+                    # The reservation must drain even when the draw fails
+                    # mid-flight (deadline, epoch exhaustion, fault
+                    # injection): leaking it here would wedge the inflight
+                    # count until restart.
+                    ticket.release()
+            finally:
+                gate_ticket.release()
+        except RequestError as error:
+            if error.code in BREAKER_FAILURE_CODES:
+                outcome = "failure"
+            raise
+        except (JobDeadlineExceeded, EmptyResultError):
+            outcome = "failure"
+            raise
+        except RuntimeError as error:
+            if "mutation epoch" in str(error):  # epoch-restart-exhausted
+                outcome = "failure"
+            raise
         finally:
-            # The reservation must drain even when the draw fails mid-flight
-            # (deadline, epoch exhaustion, fault injection): leaking it here
-            # would wedge the inflight count until restart.
-            ticket.release()
+            # Pairs with the check() above: success closes a half-open
+            # probe, deadline/epoch failures trip the breaker, sheds hand
+            # the probe slot back untouched.
+            self._breakers.record(breaker_key, outcome)
         result.update(
             kind="sample", query=label, seed=seed,
             priced_seconds=ticket.priced_seconds,
@@ -516,54 +648,89 @@ class SamplingService:
             entry = cache.peek(queries[0], BACKEND_WEIGHTS[method])
             if entry is not None:
                 cached_available = min(entry.samples, budget)
-        ticket = self.admission.admit(
+        priced = self.admission.price(
             queries, budget, warm=warm, cached_samples=cached_available
         )
+        breaker_key = (label, BACKEND_WEIGHTS.get(method, method))
+        self._breakers.check(breaker_key)
+        outcome = "neutral"
         try:
-            with self._stats_lock:
-                self._counters["warm_requests" if warm else "pool_requests"] += 1
-                if cache is not None:
-                    self._counters["cache_requests"] += 1
+            gate_ticket = self._overload.admit(priced)
+            try:
+                ticket = self.admission.admit(
+                    queries, budget, warm=warm,
+                    cached_samples=cached_available, priced=priced,
+                )
+                try:
+                    watch = self._watchdog.watch("aggregate", label, deadline)
+                    try:
+                        with self._stats_lock:
+                            self._counters[
+                                "warm_requests" if warm else "pool_requests"
+                            ] += 1
+                            if cache is not None:
+                                self._counters["cache_requests"] += 1
 
-            spec = AggregateSpec(aggregate, attribute=attribute, group_by=group_by)
-            if warm:
-                # Two independent streams: one seeds the prototype clone, one
-                # the aggregator's own draws — deterministic per request, and
-                # the prototype's stream is untouched either way.
-                clone_rng, agg_rng = spawn_rngs(seed, 2)
-                clone = self._prototype(queries[0], BACKEND_WEIGHTS[method]).split(
-                    1, seed=clone_rng, share_plans=True
-                )[0]
-                aggregator = OnlineAggregator(
-                    queries,
-                    spec,
-                    method=method,
-                    seed=agg_rng,
-                    confidence=confidence,
-                    ci_method=ci_method,
-                    target_samples=budget,
-                    join_sampler=clone,
-                    cache=cache,
-                )
-            else:
-                aggregator = OnlineAggregator(
-                    queries,
-                    spec,
-                    method=method,
-                    seed=seed,
-                    confidence=confidence,
-                    ci_method=ci_method,
-                    parallelism=workers,
-                    target_samples=budget,
-                )
-            report = aggregator.until(
-                rel_error,
-                max_attempts=max_attempts,
-                deadline=deadline,
-                allow_partial=allow_partial,
-            )
+                        spec = AggregateSpec(
+                            aggregate, attribute=attribute, group_by=group_by
+                        )
+                        if warm:
+                            # Two independent streams: one seeds the prototype
+                            # clone, one the aggregator's own draws —
+                            # deterministic per request, and the prototype's
+                            # stream is untouched either way.
+                            clone_rng, agg_rng = spawn_rngs(seed, 2)
+                            clone = self._prototype(
+                                queries[0], BACKEND_WEIGHTS[method]
+                            ).split(1, seed=clone_rng, share_plans=True)[0]
+                            aggregator = OnlineAggregator(
+                                queries,
+                                spec,
+                                method=method,
+                                seed=agg_rng,
+                                confidence=confidence,
+                                ci_method=ci_method,
+                                target_samples=budget,
+                                join_sampler=clone,
+                                cache=cache,
+                            )
+                        else:
+                            aggregator = OnlineAggregator(
+                                queries,
+                                spec,
+                                method=method,
+                                seed=seed,
+                                confidence=confidence,
+                                ci_method=ci_method,
+                                parallelism=workers,
+                                target_samples=budget,
+                            )
+                        report = aggregator.until(
+                            rel_error,
+                            max_attempts=max_attempts,
+                            deadline=deadline,
+                            allow_partial=allow_partial,
+                        )
+                        outcome = "success"
+                    finally:
+                        watch.release()
+                finally:
+                    ticket.release()
+            finally:
+                gate_ticket.release()
+        except RequestError as error:
+            if error.code in BREAKER_FAILURE_CODES:
+                outcome = "failure"
+            raise
+        except (JobDeadlineExceeded, EmptyResultError):
+            outcome = "failure"
+            raise
+        except RuntimeError as error:
+            if "mutation epoch" in str(error):  # epoch-restart-exhausted
+                outcome = "failure"
+            raise
         finally:
-            ticket.release()
+            self._breakers.record(breaker_key, outcome)
         result = {
             "kind": "aggregate",
             "query": label,
@@ -642,14 +809,29 @@ class SamplingService:
         }
 
     # ----------------------------------------------------------- health/stats
+    def note_transport_error(self) -> None:
+        """Count one transport-level failure (reset/timeout on a client)."""
+        with self._stats_lock:
+            self._counters["transport_errors"] += 1
+
     def _handle_health(self) -> Dict[str, object]:
+        # Health is the one endpoint that must answer even while everything
+        # else is being shed: it never enters the gate or admission, and it
+        # reads only lock-protected snapshots.
+        state = self._overload.state()
+        stuck = self._watchdog.scan()
+        status = "ok" if state == HEALTHY else state
+        if stuck and status == "ok":
+            status = "degraded"
         return {
             "kind": "health",
-            "status": "ok",
+            "status": status,
+            "state": state,
             "workload": self.workload.name,
             "queries": self.workload.query_names,
             "warm_prototypes": self.warm_prototypes,
             "inflight": self.admission.inflight,
+            "stuck_requests": len(stuck),
         }
 
     def _handle_stats(self) -> Dict[str, object]:
@@ -678,6 +860,9 @@ class SamplingService:
                 if self.cache is not None
                 else {"enabled": False}
             ),
+            "overload": self._overload.snapshot(),
+            "breakers": self._breakers.snapshot(),
+            "watchdog": self._watchdog.snapshot(),
             "pool": {
                 "workers": self.pool.workers,
                 "epochs_restarted": self.pool.epochs_restarted,
